@@ -1,0 +1,23 @@
+"""Ablation: the R_e clustering step of Algorithm 2 (line 7).
+
+The paper clusters VMs by spike size so collocated VMs share similar R_e,
+shrinking the conservative block size (max R_e of the hosted set).  This
+ablation measures PMs used with the paper's O(n) binning, 1-D k-means, and
+clustering disabled.
+"""
+
+from repro.experiments.ablations import run_clustering_ablation
+
+
+def test_clustering_ablation(benchmark, save_result):
+    result = benchmark.pedantic(run_clustering_ablation, rounds=1, iterations=1)
+    save_result(result)
+
+    # Clustering should never hurt much; on the heterogeneous-R_e patterns
+    # it should help (strictly fewer PMs than no clustering on average).
+    for row in result.rows:
+        binned, kmeans, none = row[1], row[2], row[3]
+        assert binned <= none + 1.0
+        assert kmeans <= none + 1.0
+    equal_row = next(r for r in result.rows if r[0] == "Rb=Re")
+    assert equal_row[1] < equal_row[3]  # binning beats none where R_e varies

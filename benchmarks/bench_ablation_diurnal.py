@@ -1,0 +1,24 @@
+"""Ablation: diurnal spike rates — where should MapCal's q come from?
+
+Under a realistic day profile (0.2x night .. 3x afternoon spike rates),
+sizing the reservation at the *average* ON fraction under-reserves exactly
+when it matters: busy-hour CVR blows past rho while nights are overly safe.
+Sizing at the peak hour restores the bound in every phase for a modest PM
+premium — stationarity is an assumption worth paying to re-establish.
+"""
+
+from repro.experiments.ablations import run_diurnal_ablation
+
+
+def test_diurnal_ablation(benchmark, save_result):
+    result = benchmark.pedantic(run_diurnal_ablation, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    mean_sized = rows["mean-hour q"]
+    peak_sized = rows["peak-hour q"]
+    # Average sizing breaks in the busy phase; peak sizing holds everywhere.
+    assert mean_sized[4] > 0.015
+    assert peak_sized[4] <= 0.015
+    # The safety premium: peak sizing uses at least as many PMs.
+    assert peak_sized[1] >= mean_sized[1]

@@ -1,0 +1,22 @@
+"""Ablation: the admission trade-off in an elastic (arrival/departure) cloud.
+
+In a dynamic fleet the reservation's capacity cost surfaces as *rejected
+arrivals* instead of idle PMs.  Sweeping rho shows the knob's elastic
+meaning: strict rho admits fewer VMs but runs essentially violation-free;
+loose rho packs more tenants and pays in overflow and migration churn.
+"""
+
+from repro.experiments.ablations import run_elasticity_ablation
+
+
+def test_elasticity_ablation(benchmark, save_result):
+    result = benchmark.pedantic(run_elasticity_ablation, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    # Stricter rho admits no more tenants than looser rho...
+    assert rows[0.001][1] <= rows[0.9][1]
+    # ...and the loosest setting pays in violations + churn.
+    strict_bad = rows[0.001][3] + rows[0.001][4]
+    loose_bad = rows[0.9][3] + rows[0.9][4]
+    assert strict_bad < loose_bad

@@ -1,0 +1,22 @@
+"""Ablation: threshold vs Baum-Welch parameter estimation under noise.
+
+The consolidation pipeline is only as good as its four-tuple estimates.
+This sweep adds Gaussian measurement noise to synthetic ON-OFF traces and
+compares the two estimators' parameter errors as the noise approaches the
+spike size (R_e = 6 units).  Expected shape: equivalent when levels are
+well separated; the HMM degrades gracefully while thresholding collapses
+once the level distributions overlap.
+"""
+
+from repro.experiments.ablations import run_estimator_ablation
+
+
+def test_estimator_ablation(benchmark, save_result):
+    result = benchmark.pedantic(run_estimator_ablation, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    # Low noise: both estimators are accurate.
+    assert rows[0.2][1] < 0.1 and rows[0.2][2] < 0.1
+    # Heavy noise (sigma = half the spike size): the HMM wins clearly.
+    assert rows[3.0][2] < rows[3.0][1]

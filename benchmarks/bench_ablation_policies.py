@@ -1,0 +1,22 @@
+"""Ablation: scheduler target-selection awareness.
+
+The paper attributes RB's cycle migration to idle deception in target
+selection.  This ablation runs the *same* RB initial placement under the
+burstiness-unaware least-loaded policy and the reservation-aware policy,
+quantifying how much of the thrash the target policy alone removes (at the
+cost of powering on more PMs).
+"""
+
+from repro.experiments.ablations import run_policy_ablation
+
+
+def test_policy_ablation(benchmark, save_result):
+    result = benchmark.pedantic(run_policy_ablation, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    unaware = rows["least-loaded (unaware)"]
+    aware = rows["reservation-aware"]
+    # Awareness trades migrations for PMs (or at worst matches).
+    assert aware[1] <= unaware[1] + 1.0
+    assert aware[2] >= unaware[2] - 1.0

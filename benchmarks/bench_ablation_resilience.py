@@ -1,0 +1,19 @@
+"""Ablation: fault resilience of the packing strategies.
+
+PM crashes force emergency evacuations; the denser the packing, the less
+headroom exists to absorb a failed host's VMs.  This run injects failures
+(p_fail = 1% per PM-interval, mean repair 10 intervals) on top of the usual
+ON-OFF dynamics and compares stranded-VM time across strategies.
+"""
+
+from repro.experiments.ablations import run_resilience
+
+
+def test_resilience(benchmark, save_result):
+    result = benchmark.pedantic(run_resilience, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = {r[0]: r for r in result.rows}
+    # Looser packings strand VMs no more than denser ones.
+    assert rows["RP"][4] <= rows["RB"][4]
+    assert rows["QUEUE"][4] <= rows["RB"][4]

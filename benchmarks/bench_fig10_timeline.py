@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 10 (time-ordered migration events).
+
+Paper shape: QUEUE's cumulative-migration curve is flat near zero; RB and
+RB-EX burst early (over-tight initial packing); RB keeps climbing through
+the whole period (cycle migration).
+"""
+
+from repro.experiments.fig10_timeline import run_fig10
+
+
+def test_fig10_timeline(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig10(n_vms=120, seed=2013, sample_every=5),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+
+    queue = result.column("QUEUE_cum_migrations")
+    rb = result.column("RB_cum_migrations")
+    rbex = result.column("RB-EX_cum_migrations")
+    assert queue == sorted(queue) and rb == sorted(rb) and rbex == sorted(rbex)
+    assert rb[-1] > queue[-1]
+    assert queue[-1] <= 5  # essentially flat
+    # RB's early burst: at least a third of its migrations land in the
+    # first quarter of the period.
+    quarter = len(rb) // 4
+    assert rb[quarter] >= rb[-1] / 4

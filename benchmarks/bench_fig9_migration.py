@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 9 (migrations + final PMs with live migration).
+
+Paper shape, per pattern: RB incurs unacceptably more migrations than QUEUE
+(RB-EX in between), while RB ends the period with fewer or similar PMs
+(cycle migration keeps its count low at the price of thrash).
+"""
+
+from repro.experiments.fig9_migration import run_fig9
+
+
+def test_fig9_migration(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig9(n_vms=120, n_repetitions=10, seed=2013),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for pattern in ("Rb=Re", "Rb>Re", "Rb<Re"):
+        queue_mig = rows[(pattern, "QUEUE")][2]
+        rb_mig = rows[(pattern, "RB")][2]
+        rbex_mig = rows[(pattern, "RB-EX")][2]
+        assert rb_mig > 3 * max(queue_mig, 0.5)
+        assert rbex_mig <= rb_mig
+        # energy side: RB's final PM count stays at or below QUEUE's
+        assert rows[(pattern, "RB")][5] <= rows[(pattern, "QUEUE")][5] + 1.0

@@ -1,0 +1,47 @@
+"""Complexity check: MapCal's O(k^3) and the mapping table's O(d^4).
+
+The paper states Algorithm 1 costs O(k^3) (kernel construction + Gaussian
+elimination) and the Algorithm 2 precomputation O(d^4).  These benches time
+the real implementation across k/d so regressions in the vectorized kernel
+show up, and the growth-rate assertion catches accidental O(k^4) slips.
+"""
+
+import time
+
+import pytest
+
+from repro.core.mapcal import mapcal, mapcal_table
+from repro.markov.binomial import busy_block_kernel
+
+
+@pytest.mark.parametrize("k", [8, 16, 32, 64])
+def test_mapcal_cost(benchmark, k):
+    K = benchmark(lambda: mapcal(k, 0.01, 0.09, 0.01))
+    assert 0 < K <= k
+
+
+@pytest.mark.parametrize("d", [8, 16, 32])
+def test_mapping_table_cost(benchmark, d):
+    mapping = benchmark.pedantic(
+        lambda: mapcal_table(d, 0.01, 0.09, 0.01), rounds=3, iterations=1
+    )
+    assert mapping.d == d
+
+
+def test_kernel_growth_is_polynomial(benchmark):
+    """Doubling k should grow the kernel cost by far less than 2^5 — a loose
+    ceiling that still catches exponential or heavily supercubic slips."""
+    benchmark.pedantic(lambda: busy_block_kernel(128, 0.01, 0.09),
+                       rounds=3, iterations=1)
+
+    def cost(k, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            busy_block_kernel(k, 0.01, 0.09)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    cost(64)  # warm-up
+    t64, t128 = cost(64), cost(128)
+    assert t128 / max(t64, 1e-9) < 32.0

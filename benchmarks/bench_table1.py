@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (workload pattern specifications)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, save_result):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_result(result)
+
+    assert len(result.rows) == 7
+    assert result.rows[0][3:] == [400, 800]
+    assert result.rows[2][3:] == [1600, 3200]

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure), times it
+with pytest-benchmark, and persists the reproduced rows under
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import ExperimentResult, render_result
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist an ExperimentResult (or raw text) and echo it to stdout."""
+
+    def _save(result: ExperimentResult | str, name: str | None = None) -> str:
+        if isinstance(result, ExperimentResult):
+            text = render_result(result)
+            name = name or result.experiment_id
+        else:
+            text = result
+            if name is None:
+                raise ValueError("raw text results need an explicit name")
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return text
+
+    return _save

@@ -1,0 +1,70 @@
+"""Scenario: an elastic cloud with VMs arriving and departing online.
+
+The paper's Section IV-E sketch, exercised: single arrivals first-fit into
+the reserved-capacity fleet, departures shrink the reservations
+automatically, and a batch arrival reuses Algorithm 2's clustering order.
+We track how the used-PM count and total reserved resources breathe as the
+population changes.
+
+Run:  python examples/online_arrivals.py
+"""
+
+import numpy as np
+
+from repro import OnlineConsolidator, QueuingFFD, VMSpec
+from repro.workload.patterns import make_pms
+
+RNG = np.random.default_rng(5)
+
+
+def random_vm() -> VMSpec:
+    """A web-server-ish VM with a random footprint and normal-sized spike."""
+    r_base = float(RNG.uniform(4, 16))
+    return VMSpec(p_on=0.01, p_off=0.09, r_base=r_base,
+                  r_extra=float(RNG.uniform(0.5, 1.5)) * r_base)
+
+
+def fleet_summary(consolidator: OnlineConsolidator) -> str:
+    used = consolidator.n_used_pms
+    reserved = sum(
+        consolidator.state_of(j).reserved for j in range(consolidator.n_pms)
+    )
+    return (f"{consolidator.n_vms:3d} VMs on {used:2d} PMs, "
+            f"{reserved:7.1f} units reserved for spikes")
+
+
+def main() -> None:
+    pms = make_pms(64, seed=5)
+    consolidator = OnlineConsolidator(pms, QueuingFFD(rho=0.01, d=16))
+
+    # Morning: 40 single arrivals trickle in.
+    ids = []
+    for _ in range(40):
+        vm_id, pm = consolidator.admit(random_vm())
+        ids.append(vm_id)
+    print("after 40 single arrivals:  ", fleet_summary(consolidator))
+
+    # Midday: a tenant deploys a 30-VM batch; Algorithm 2 ordering applies.
+    batch = [random_vm() for _ in range(30)]
+    placed = consolidator.admit_batch(batch)
+    ids.extend(vm_id for vm_id, _ in placed)
+    print("after a 30-VM batch:       ", fleet_summary(consolidator))
+
+    # Evening: half the morning VMs shut down; reservations shrink in place.
+    for vm_id in ids[:20]:
+        consolidator.depart(vm_id)
+    print("after 20 departures:       ", fleet_summary(consolidator))
+
+    # The per-PM view: block counts follow the mapping table as counts change.
+    print("\nper-PM snapshot (used PMs):")
+    for j in range(consolidator.n_pms):
+        state = consolidator.state_of(j)
+        if not state.is_empty:
+            print(f"  PM {j:2d}: {state.count:2d} VMs, "
+                  f"{state.n_blocks} blocks x {state.max_extra:5.1f} = "
+                  f"{state.reserved:6.1f} reserved, "
+                  f"headroom {state.headroom:6.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Analysis of placements and simulation outputs.
+
+- :mod:`repro.analysis.cvr` — empirical capacity-violation ratios from
+  demand traces (the paper's Eq. 4 measured on simulation output).
+- :mod:`repro.analysis.consolidation` — packing-quality metrics
+  (PMs used, consolidation-ratio improvements the abstract quotes).
+- :mod:`repro.analysis.report` — experiment result containers and text
+  rendering shared by the benchmark harness.
+"""
+
+from repro.analysis.consolidation import (
+    consolidation_ratio,
+    pm_reduction_percent,
+    pms_used,
+)
+from repro.analysis.cvr import cvr_from_loads, cvr_per_pm, evaluate_placement_cvr
+from repro.analysis.fairness import (
+    fairness_report,
+    gini_coefficient,
+    jains_index,
+    max_share,
+)
+from repro.analysis.report import ExperimentResult, render_result
+from repro.analysis.stats import (
+    BatchMeansResult,
+    batch_means,
+    required_runs,
+    warmup_cutoff,
+)
+
+__all__ = [
+    "fairness_report",
+    "gini_coefficient",
+    "jains_index",
+    "max_share",
+    "BatchMeansResult",
+    "batch_means",
+    "required_runs",
+    "warmup_cutoff",
+    "consolidation_ratio",
+    "pm_reduction_percent",
+    "pms_used",
+    "cvr_from_loads",
+    "cvr_per_pm",
+    "evaluate_placement_cvr",
+    "ExperimentResult",
+    "render_result",
+]

@@ -1,0 +1,69 @@
+"""Fairness metrics over per-VM suffering.
+
+Two placements with the same PM-level CVR can distribute the pain very
+differently: one VM absorbing every violated interval is a worse outcome
+than the same total spread thinly.  Standard allocation-fairness indices
+over the per-VM suffering vector (see
+:meth:`repro.simulation.monitor.RunRecord.vm_suffering_fraction`):
+
+- **Jain's index** ``(sum x)^2 / (n * sum x^2)`` — 1 when perfectly even,
+  ``1/n`` when one VM takes everything;
+- **Gini coefficient** — 0 when even, -> 1 when concentrated;
+- **max share** — the largest single VM's share of the total.
+
+All three treat an all-zero vector (no suffering at all) as perfectly fair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_nonneg_1d(values: np.ndarray) -> np.ndarray:
+    x = np.asarray(values, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError(f"values must be a non-empty 1-D array, got {x.shape}")
+    if np.any(x < 0) or not np.all(np.isfinite(x)):
+        raise ValueError("values must be finite and non-negative")
+    return x
+
+
+def jains_index(values: np.ndarray) -> float:
+    """Jain's fairness index in ``[1/n, 1]`` (1 when all values are zero)."""
+    x = _as_nonneg_1d(values)
+    total = x.sum()
+    if total == 0.0:
+        return 1.0
+    return float(total**2 / (x.size * (x**2).sum()))
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient in ``[0, 1)`` (0 when even or all-zero)."""
+    x = np.sort(_as_nonneg_1d(values))
+    total = x.sum()
+    if total == 0.0:
+        return 0.0
+    n = x.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks @ x) - (n + 1) * total) / (n * total))
+
+
+def max_share(values: np.ndarray) -> float:
+    """Largest single element's share of the total (0 when all-zero)."""
+    x = _as_nonneg_1d(values)
+    total = x.sum()
+    if total == 0.0:
+        return 0.0
+    return float(x.max() / total)
+
+
+def fairness_report(values: np.ndarray) -> dict[str, float]:
+    """All three indices plus the totals, as one dict."""
+    x = _as_nonneg_1d(values)
+    return {
+        "n": float(x.size),
+        "total": float(x.sum()),
+        "jain": jains_index(x),
+        "gini": gini_coefficient(x),
+        "max_share": max_share(x),
+    }

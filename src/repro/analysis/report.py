@@ -1,0 +1,72 @@
+"""Experiment result containers and rendering.
+
+Every experiment module in :mod:`repro.experiments` returns an
+:class:`ExperimentResult`: an identifier, the parameter dict, column headers
+and rows.  :func:`render_result` turns it into the text table the benchmark
+harness prints, so paper-vs-measured comparisons in EXPERIMENTS.md come from
+one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one experiment (one table or figure).
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id, e.g. ``"fig5a"`` or ``"table1"``.
+    description:
+        One-line description of what the artifact shows.
+    params:
+        The experiment's parameter settings (for the record).
+    headers:
+        Column names.
+    rows:
+        Data rows (same arity as ``headers``).
+    notes:
+        Free-form observations (e.g. shape checks that passed).
+    """
+
+    experiment_id: str
+    description: str
+    params: dict[str, Any] = field(default_factory=dict)
+    headers: Sequence[str] = ()
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a data row."""
+        if self.headers and len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; have {list(self.headers)}") from None
+        return [r[idx] for r in self.rows]
+
+
+def render_result(result: ExperimentResult, *, floatfmt: str = ".3f") -> str:
+    """Render an :class:`ExperimentResult` as printable text."""
+    lines = [f"== {result.experiment_id}: {result.description} =="]
+    if result.params:
+        lines.append("params: " + ", ".join(f"{k}={v}" for k, v in result.params.items()))
+    lines.append(
+        format_table(result.headers, result.rows, floatfmt=floatfmt)
+    )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

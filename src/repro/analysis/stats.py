@@ -1,0 +1,125 @@
+"""Statistical rigor for simulation estimates.
+
+CVR estimates come from a single long correlated trajectory, so naive
+i.i.d. confidence intervals are wrong.  The standard fix is **batch means**:
+split the trajectory into ``n_batches`` contiguous batches, treat the batch
+averages as approximately independent, and build a t-interval on them.
+:func:`warmup_cutoff` supplies an MSER-5 style truncation point for the
+transient at the start of a run (the all-OFF start biases CVR downward).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.utils.validation import check_integer, check_probability
+
+
+@dataclass(frozen=True)
+class BatchMeansResult:
+    """A batch-means point estimate with its confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n_batches: int
+    batch_size: int
+
+    @property
+    def low(self) -> float:
+        """Lower confidence limit."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper confidence limit."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def batch_means(samples: np.ndarray, *, n_batches: int = 20,
+                confidence: float = 0.95) -> BatchMeansResult:
+    """Batch-means confidence interval for the mean of a correlated series.
+
+    Parameters
+    ----------
+    samples:
+        1-D time series (e.g. per-interval violation indicators).  Trailing
+        samples that do not fill a whole batch are dropped.
+    n_batches:
+        Number of batches (10-30 is customary).
+    confidence:
+        Two-sided confidence level in (0, 1).
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"samples must be 1-D, got shape {x.shape}")
+    n_batches = check_integer(n_batches, "n_batches", minimum=2)
+    check_probability(confidence, "confidence", allow_zero=False, allow_one=False)
+    batch_size = x.size // n_batches
+    if batch_size < 1:
+        raise ValueError(
+            f"series of length {x.size} cannot form {n_batches} batches"
+        )
+    trimmed = x[: batch_size * n_batches]
+    means = trimmed.reshape(n_batches, batch_size).mean(axis=1)
+    grand = float(means.mean())
+    se = float(means.std(ddof=1)) / math.sqrt(n_batches)
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=n_batches - 1))
+    return BatchMeansResult(
+        mean=grand,
+        half_width=t * se,
+        confidence=confidence,
+        n_batches=n_batches,
+        batch_size=batch_size,
+    )
+
+
+def warmup_cutoff(samples: np.ndarray, *, batch: int = 5) -> int:
+    """MSER-style truncation point for initialization bias.
+
+    Returns the sample index ``d`` (a multiple of ``batch``) minimizing the
+    MSER statistic ``var(x[d:]) / (n - d)^2`` computed over batch means.
+    The search is capped at half the series so at least half the data
+    survives.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    batch = check_integer(batch, "batch", minimum=1)
+    n_b = x.size // batch
+    if n_b < 4:
+        return 0
+    means = x[: n_b * batch].reshape(n_b, batch).mean(axis=1)
+    best_d, best_stat = 0, float("inf")
+    for d in range(n_b // 2):
+        tail = means[d:]
+        stat = float(tail.var()) / (tail.size ** 2)
+        if stat < best_stat:
+            best_stat = stat
+            best_d = d
+    return best_d * batch
+
+
+def required_runs(half_width_target: float, pilot_std: float,
+                  *, confidence: float = 0.95) -> int:
+    """Replications needed for a target CI half-width (normal approximation).
+
+    Classic pilot-run sizing: ``n = (z * s / h)^2`` rounded up, at least 2.
+    """
+    if half_width_target <= 0:
+        raise ValueError("half_width_target must be > 0")
+    if pilot_std < 0:
+        raise ValueError("pilot_std must be >= 0")
+    check_probability(confidence, "confidence", allow_zero=False, allow_one=False)
+    if pilot_std == 0:
+        return 2
+    z = float(sps.norm.ppf(0.5 + confidence / 2.0))
+    return max(2, math.ceil((z * pilot_std / half_width_target) ** 2))

@@ -1,0 +1,14 @@
+"""VM clustering by spike size ``R_e``.
+
+Algorithm 2 (line 7) groups VMs with similar ``R_e`` so collocated VMs share
+similar block sizes, which shrinks the conservative per-PM block size
+(``max R_e`` of the hosted set).  The paper uses "a simple O(n) clustering
+method"; :mod:`repro.cluster.binning` implements equal-width value binning
+(the natural O(n) choice), and :mod:`repro.cluster.kmeans` provides a 1-D
+k-means alternative for the clustering ablation.
+"""
+
+from repro.cluster.binning import equal_width_bins
+from repro.cluster.kmeans import kmeans_1d
+
+__all__ = ["equal_width_bins", "kmeans_1d"]

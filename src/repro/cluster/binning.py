@@ -1,0 +1,45 @@
+"""O(n) equal-width binning of scalar values.
+
+The paper's clustering step only needs VMs with *similar* ``R_e`` to land in
+the same group; equal-width bins over the value range achieve that in one
+vectorized pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+
+def equal_width_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Assign each value a bin label in ``[0, n_bins)`` by equal-width bins.
+
+    Parameters
+    ----------
+    values:
+        1-D array of finite scalars.
+    n_bins:
+        Number of bins (>= 1).  If all values are equal, everything lands in
+        bin 0.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer labels, same length as ``values``.  Label order follows value
+        order: larger values get larger labels.
+    """
+    n_bins = check_integer(n_bins, "n_bins", minimum=1)
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {v.shape}")
+    if v.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if not np.all(np.isfinite(v)):
+        raise ValueError("values must be finite")
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return np.zeros(v.size, dtype=np.int64)
+    width = (hi - lo) / n_bins
+    labels = np.floor((v - lo) / width).astype(np.int64)
+    return np.clip(labels, 0, n_bins - 1)

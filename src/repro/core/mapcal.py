@@ -1,0 +1,113 @@
+"""Algorithm 1 (MapCal): minimal reservation-block count.
+
+Given ``k`` collocated VMs sharing common switch probabilities
+``(p_on, p_off)`` and a CVR bound ``rho``, MapCal returns the least number of
+reservation blocks ``K`` such that the long-run fraction of time more than
+``K`` VMs are simultaneously ON is at most ``rho``:
+
+1. build the ``(k+1)``-state busy-block transition matrix (paper Eq. 12);
+2. solve the stationary distribution ``Pi`` (paper Eq. 14, Gaussian
+   elimination — our default ``"linear"`` solver);
+3. return the least ``K`` with ``sum_{m<=K} pi_m >= 1 - rho`` (paper Eq. 15).
+
+The paper additionally requires ``K < k`` in Eq. 15; since ``K = k`` always
+satisfies the bound (overflow is impossible), the scan below naturally
+returns ``K <= k`` and equals the paper's value whenever one with ``K < k``
+exists.
+
+:func:`mapcal_table` precomputes ``mapping[k]`` for every ``k`` up to the
+per-PM VM limit ``d``, which QueuingFFD (Algorithm 2, lines 1-6) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.chain import StationaryMethod
+from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+from repro.utils.validation import check_integer, check_probability
+
+
+def mapcal(k: int, p_on: float, p_off: float, rho: float,
+           *, method: StationaryMethod = "linear") -> int:
+    """Minimum number of blocks for ``k`` VMs under CVR bound ``rho``.
+
+    Parameters
+    ----------
+    k:
+        Number of VMs hosted on the PM (``k >= 0``; ``k = 0`` returns 0).
+    p_on, p_off:
+        Common ON-OFF switch probabilities, both in (0, 1].
+    rho:
+        CVR threshold in [0, 1].
+    method:
+        Stationary-distribution solver (see
+        :meth:`repro.markov.chain.DiscreteMarkovChain.stationary_distribution`).
+
+    Returns
+    -------
+    int
+        The block count ``K`` in ``[0, k]``.
+    """
+    k = check_integer(k, "k", minimum=0)
+    check_probability(rho, "rho")
+    if k == 0:
+        return 0
+    model = FiniteSourceGeomGeomK(k, p_on, p_off)
+    return model.min_windows_for_overflow(rho, method)
+
+
+@dataclass(frozen=True)
+class BlockMapping:
+    """Precomputed ``k -> K`` table for a fixed ``(p_on, p_off, rho)``.
+
+    Attributes
+    ----------
+    p_on, p_off, rho:
+        Parameters the table was computed for.
+    table:
+        Read-only integer array with ``table[k]`` = blocks for ``k`` VMs,
+        ``k`` from 0 to ``d`` inclusive (``table[0] = 0``, Alg. 2 line 1).
+    """
+
+    p_on: float
+    p_off: float
+    rho: float
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.table, dtype=np.int64)
+        t.setflags(write=False)
+        object.__setattr__(self, "table", t)
+
+    @property
+    def d(self) -> int:
+        """Maximum supported VM count per PM."""
+        return self.table.size - 1
+
+    def blocks_for(self, k: int) -> int:
+        """Blocks required when ``k`` VMs share the PM."""
+        k = check_integer(k, "k", minimum=0, maximum=self.d)
+        return int(self.table[k])
+
+    def __getitem__(self, k: int) -> int:
+        return self.blocks_for(k)
+
+
+def mapcal_table(d: int, p_on: float, p_off: float, rho: float,
+                 *, method: StationaryMethod = "linear") -> BlockMapping:
+    """Precompute ``mapping[k]`` for all ``k`` in ``[0, d]`` (Alg. 2 lines 1-6).
+
+    Cost is ``O(d^4)`` as stated in the paper (one ``O(k^3)`` MapCal per
+    ``k``).  The result is immutable and safely shareable across placers.
+    """
+    d = check_integer(d, "d", minimum=1)
+    p_on = check_probability(p_on, "p_on", allow_zero=False)
+    p_off = check_probability(p_off, "p_off", allow_zero=False)
+    rho = check_probability(rho, "rho")
+    table = np.zeros(d + 1, dtype=np.int64)
+    for k in range(1, d + 1):
+        table[k] = mapcal(k, p_on, p_off, rho, method=method)
+    return BlockMapping(p_on=p_on, p_off=p_off, rho=rho, table=table)

@@ -1,0 +1,197 @@
+"""Online consolidation: arrivals, departures, batches (paper Section IV-E).
+
+The paper's online rules:
+
+- **single arrival** — place the VM on the first PM satisfying Eq. (17) and
+  recompute that PM's queue (block count/size);
+- **departure** — remove the VM and recompute the PM's queue;
+- **batch arrival** — run the Algorithm 2 ordering over the batch.
+
+Reservation states make all recomputation implicit: block count follows the
+hosted count through the precomputed mapping table and block size follows the
+running ``max R_e``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.mapcal import BlockMapping
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.reservation import PMReservationState
+from repro.core.types import PMSpec, VMSpec
+from repro.placement.base import InsufficientCapacityError
+
+
+class OnlineConsolidator:
+    """Incremental VM admission/eviction over a fixed PM fleet.
+
+    Parameters
+    ----------
+    pms:
+        The PM fleet.
+    placer:
+        A configured :class:`QueuingFFD`; supplies rho, d, clustering and the
+        mapping table.  The consolidator locks the mapping to the switch
+        probabilities of the *first* VMs it sees and, per the paper's note,
+        can be refreshed with :meth:`recalibrate` when the population's
+        rounded ``(p_on, p_off)`` has drifted.
+    """
+
+    def __init__(self, pms: Sequence[PMSpec], placer: QueuingFFD | None = None):
+        if not pms:
+            raise ValueError("need at least one PM")
+        self.placer = placer if placer is not None else QueuingFFD()
+        self._pms = list(pms)
+        self._mapping: BlockMapping | None = None
+        self._states: list[PMReservationState] = []
+        self._locations: dict[int, int] = {}  # vm_id -> pm index
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # state accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pms(self) -> int:
+        """Fleet size."""
+        return len(self._pms)
+
+    @property
+    def n_vms(self) -> int:
+        """Currently hosted VM count."""
+        return len(self._locations)
+
+    @property
+    def n_used_pms(self) -> int:
+        """PMs currently hosting at least one VM."""
+        return sum(1 for s in self._states if not s.is_empty)
+
+    def pm_of(self, vm_id: int) -> int:
+        """PM index hosting ``vm_id``."""
+        try:
+            return self._locations[vm_id]
+        except KeyError:
+            raise KeyError(f"unknown VM id {vm_id}") from None
+
+    def state_of(self, pm_index: int) -> PMReservationState:
+        """Reservation state of PM ``pm_index``."""
+        self._ensure_states()
+        return self._states[pm_index]
+
+    def hosted_vms(self) -> dict[int, VMSpec]:
+        """Snapshot mapping vm_id -> spec of all hosted VMs."""
+        out: dict[int, VMSpec] = {}
+        for s in self._states:
+            out.update(s.vms)
+        return out
+
+    def _ensure_states(self) -> None:
+        if not self._states:
+            if self._mapping is None:
+                raise RuntimeError(
+                    "no VMs admitted yet; the mapping table is created on the "
+                    "first arrival"
+                )
+
+    # ------------------------------------------------------------------ #
+    # online operations
+    # ------------------------------------------------------------------ #
+    def _init_mapping(self, vms: Sequence[VMSpec]) -> None:
+        self._mapping = self.placer.mapping_for(vms)
+        self._states = [
+            PMReservationState(spec=p, mapping=self._mapping) for p in self._pms
+        ]
+
+    def admit(self, vm: VMSpec) -> tuple[int, int]:
+        """Admit one VM; returns ``(vm_id, pm_index)``.
+
+        First-fit over PMs with the Eq. (17) test, exactly the paper's
+        single-arrival rule.
+
+        Raises
+        ------
+        InsufficientCapacityError
+            If no PM can take the VM.
+        """
+        if self._mapping is None:
+            self._init_mapping([vm])
+        for pm_idx, state in enumerate(self._states):
+            if state.fits(vm):
+                vm_id = self._next_id
+                self._next_id += 1
+                state.add(vm_id, vm)
+                self._locations[vm_id] = pm_idx
+                return vm_id, pm_idx
+        raise InsufficientCapacityError(-1, "no PM can admit the arriving VM")
+
+    def admit_batch(self, vms: Sequence[VMSpec]) -> list[tuple[int, int]]:
+        """Admit a batch using Algorithm 2's ordering over the batch.
+
+        Returns ``(vm_id, pm_index)`` per input VM, in input order.  The
+        operation is atomic: if any VM fails to fit, no VM from the batch is
+        admitted.
+        """
+        if not vms:
+            return []
+        if self._mapping is None:
+            self._init_mapping(vms)
+        order = self.placer.order_vms(vms)
+        placed: list[tuple[int, int, VMSpec]] = []  # (input position, pm, spec)
+        for pos in order:
+            pos = int(pos)
+            vm = vms[pos]
+            for pm_idx, state in enumerate(self._states):
+                if state.fits(vm):
+                    # reserve without ids yet; use a temp negative id
+                    state.add(-(pos + 1), vm)
+                    placed.append((pos, pm_idx, vm))
+                    break
+            else:
+                for p, pm_idx, v in placed:  # rollback
+                    self._states[pm_idx].remove(-(p + 1))
+                raise InsufficientCapacityError(pos, f"batch VM {pos} does not fit")
+        results: list[tuple[int, int]] = [(-1, -1)] * len(vms)
+        for pos, pm_idx, vm in placed:
+            self._states[pm_idx].remove(-(pos + 1))
+            vm_id = self._next_id
+            self._next_id += 1
+            self._states[pm_idx].add(vm_id, vm)
+            self._locations[vm_id] = pm_idx
+            results[pos] = (vm_id, pm_idx)
+        return results
+
+    def depart(self, vm_id: int) -> int:
+        """Remove VM ``vm_id``; returns the PM it left.
+
+        The PM's queue shrinks automatically (block count via the mapping
+        table, block size via the recomputed ``max R_e``).
+        """
+        pm_idx = self.pm_of(vm_id)
+        self._states[pm_idx].remove(vm_id)
+        del self._locations[vm_id]
+        return pm_idx
+
+    def recalibrate(self) -> bool:
+        """Recompute the mapping from the current population (Section IV-E).
+
+        Returns True if the rounded ``(p_on, p_off)`` changed and the mapping
+        was rebuilt.  Raises if the rebuilt reservations no longer fit — the
+        caller should then re-consolidate from scratch.
+        """
+        hosted = self.hosted_vms()
+        if not hosted or self._mapping is None:
+            return False
+        new_mapping = self.placer.mapping_for(list(hosted.values()))
+        if (new_mapping.p_on == self._mapping.p_on
+                and new_mapping.p_off == self._mapping.p_off):
+            return False
+        for state in self._states:
+            state.mapping = new_mapping
+            if not state.is_empty and state.committed > state.spec.capacity + 1e-9:
+                raise InsufficientCapacityError(
+                    -1,
+                    "recalibrated reservations exceed capacity; "
+                    "re-consolidate the fleet",
+                )
+        self._mapping = new_mapping
+        return True

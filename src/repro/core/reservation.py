@@ -1,0 +1,144 @@
+"""Per-PM reservation bookkeeping and the Eq. (17) admission constraint.
+
+A PM hosting the VM index set ``T_j`` reserves ``mapping(|T_j|)`` blocks, each
+sized to the largest ``R_e`` among hosted VMs.  A candidate VM ``i`` may be
+admitted iff (paper Eq. 17)
+
+    max(R_e^i, max R_e of T_j) * mapping(|T_j| + 1)
+      + R_b^i + sum of R_b over T_j              <=  C_j
+
+:class:`PMReservationState` maintains the running aggregates (count, base-sum,
+max-``R_e``) so each admission test is O(1), which keeps the first-fit scan in
+Algorithm 2 at the paper's O(m n) placement cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapcal import BlockMapping
+from repro.core.types import PMSpec, VMSpec
+
+
+def reserved_size(max_r_extra: float, n_vms: int, mapping: BlockMapping) -> float:
+    """Total reserved resource: block size times block count."""
+    if n_vms == 0:
+        return 0.0
+    return max_r_extra * mapping.blocks_for(n_vms)
+
+
+def fits_with_reservation(vm: VMSpec, pm_capacity: float, *,
+                          current_count: int, current_base_sum: float,
+                          current_max_extra: float,
+                          mapping: BlockMapping) -> bool:
+    """Evaluate the paper's Eq. (17) admission constraint.
+
+    Parameters
+    ----------
+    vm:
+        Candidate VM.
+    pm_capacity:
+        The PM's capacity ``C_j``.
+    current_count, current_base_sum, current_max_extra:
+        Aggregates of the VMs already on the PM (``|T_j|``, ``sum R_b``,
+        ``max R_e``; use 0 for an empty PM).
+    mapping:
+        Precomputed ``k -> K`` block table.
+
+    Returns
+    -------
+    bool
+        True iff placing ``vm`` keeps reserved-plus-base usage within
+        capacity.  If the PM would exceed the table's ``d`` (the per-PM VM
+        limit), the VM does not fit by definition.
+    """
+    new_count = current_count + 1
+    if new_count > mapping.d:
+        return False
+    new_max_extra = max(current_max_extra, vm.r_extra)
+    new_base_sum = current_base_sum + vm.r_base
+    reserved = new_max_extra * mapping.blocks_for(new_count)
+    return reserved + new_base_sum <= pm_capacity + 1e-9
+
+
+@dataclass
+class PMReservationState:
+    """Mutable aggregate state of one PM during consolidation.
+
+    Tracks exactly the quantities Eq. (17) needs.  ``max_extra`` removal is
+    handled by recomputing from the hosted set (rare path, only used by the
+    online consolidator on VM exit).
+    """
+
+    spec: PMSpec
+    mapping: BlockMapping
+    vms: dict[int, VMSpec] = field(default_factory=dict)
+    base_sum: float = 0.0
+    max_extra: float = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of hosted VMs."""
+        return len(self.vms)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the PM hosts no VM."""
+        return not self.vms
+
+    @property
+    def n_blocks(self) -> int:
+        """Reserved block count for the current population."""
+        return self.mapping.blocks_for(self.count) if self.count else 0
+
+    @property
+    def reserved(self) -> float:
+        """Total reserved resource (block size x block count)."""
+        return self.max_extra * self.n_blocks
+
+    @property
+    def committed(self) -> float:
+        """Base demand plus reservation currently committed on this PM."""
+        return self.base_sum + self.reserved
+
+    @property
+    def headroom(self) -> float:
+        """Capacity remaining beyond the committed amount."""
+        return self.spec.capacity - self.committed
+
+    def fits(self, vm: VMSpec) -> bool:
+        """Whether ``vm`` can be admitted under Eq. (17)."""
+        return fits_with_reservation(
+            vm,
+            self.spec.capacity,
+            current_count=self.count,
+            current_base_sum=self.base_sum,
+            current_max_extra=self.max_extra,
+            mapping=self.mapping,
+        )
+
+    def add(self, vm_id: int, vm: VMSpec) -> None:
+        """Admit ``vm`` (caller must have checked :meth:`fits`)."""
+        if vm_id in self.vms:
+            raise ValueError(f"VM {vm_id} is already on this PM")
+        if self.count + 1 > self.mapping.d:
+            raise ValueError(
+                f"PM already hosts d={self.mapping.d} VMs; cannot admit more"
+            )
+        self.vms[vm_id] = vm
+        self.base_sum += vm.r_base
+        self.max_extra = max(self.max_extra, vm.r_extra)
+
+    def remove(self, vm_id: int) -> VMSpec:
+        """Evict VM ``vm_id``, recomputing aggregates."""
+        try:
+            vm = self.vms.pop(vm_id)
+        except KeyError:
+            raise KeyError(f"VM {vm_id} is not hosted on this PM") from None
+        self.base_sum -= vm.r_base
+        if self.is_empty:
+            self.base_sum = 0.0  # absorb float dust
+            self.max_extra = 0.0
+        elif vm.r_extra >= self.max_extra:
+            self.max_extra = max(v.r_extra for v in self.vms.values())
+        return vm

@@ -1,0 +1,52 @@
+"""Rounding heterogeneous switch probabilities to uniform values.
+
+MapCal assumes all collocated VMs share one ``(p_on, p_off)``.  Section IV-E
+notes that when they differ across VMs "we need to round them to uniform
+values".  The paper does not fix a rule, so we provide three:
+
+- ``"mean"`` — arithmetic means (balanced default);
+- ``"conservative"`` — max ``p_on``, min ``p_off``: overstates spike
+  frequency and duration, so the resulting reservation upper-bounds every
+  VM's behaviour and the CVR guarantee is preserved;
+- ``"median"`` — medians, robust to outlier VMs.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.types import VMSpec
+
+RoundingRule = Literal["mean", "conservative", "median"]
+
+
+def round_switch_probabilities(
+    vms: Sequence[VMSpec], rule: RoundingRule = "mean"
+) -> tuple[float, float]:
+    """Collapse per-VM ``(p_on, p_off)`` values to a single uniform pair.
+
+    Parameters
+    ----------
+    vms:
+        Non-empty VM list.
+    rule:
+        Aggregation rule (see module docstring).
+
+    Returns
+    -------
+    tuple
+        ``(p_on, p_off)`` to feed MapCal.
+    """
+    if not vms:
+        raise ValueError("cannot round switch probabilities of an empty VM list")
+    p_on = np.array([v.p_on for v in vms])
+    p_off = np.array([v.p_off for v in vms])
+    if rule == "mean":
+        return float(p_on.mean()), float(p_off.mean())
+    if rule == "conservative":
+        return float(p_on.max()), float(p_off.min())
+    if rule == "median":
+        return float(np.median(p_on)), float(np.median(p_off))
+    raise ValueError(f"unknown rounding rule {rule!r}")

@@ -1,0 +1,44 @@
+"""Experiment reproductions, one module per paper artifact.
+
+Each ``run_*`` function is deterministic given its seed, returns an
+:class:`repro.analysis.report.ExperimentResult`, and is exercised by the
+corresponding benchmark in ``benchmarks/``.
+
+| Artifact  | Module            | What it regenerates                              |
+|-----------|-------------------|--------------------------------------------------|
+| Fig. 5    | fig5_packing      | PMs used by QUEUE/RP/RB per pattern              |
+| Fig. 6    | fig6_cvr          | per-PM CVR distribution of QUEUE/RB placements   |
+| Fig. 7    | fig7_cost         | Algorithm 2 computation cost vs d and n          |
+| Fig. 8    | fig8_trace        | sample web-server workload trace                 |
+| Table I   | table1            | workload-pattern specifications                  |
+| Fig. 9    | fig9_migration    | migrations + final PMs with live migration       |
+| Fig. 10   | fig10_timeline    | time-ordered migration events                    |
+"""
+
+from repro.experiments.config import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    strategies_for_packing,
+    strategies_for_runtime,
+)
+from repro.experiments.fig5_packing import run_fig5
+from repro.experiments.fig6_cvr import run_fig6
+from repro.experiments.fig7_cost import run_fig7
+from repro.experiments.fig8_trace import run_fig8
+from repro.experiments.fig9_migration import run_fig9
+from repro.experiments.fig10_timeline import run_fig10
+from repro.experiments.table1 import run_table1
+
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "ExperimentSettings",
+    "strategies_for_packing",
+    "strategies_for_runtime",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_table1",
+]

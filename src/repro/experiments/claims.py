@@ -1,0 +1,196 @@
+"""Machine-checkable paper claims.
+
+EXPERIMENTS.md records paper-vs-measured prose; this module makes the
+headline claims *executable*: each :class:`PaperClaim` names the paper
+statement, the experiment that produces the evidence, and a predicate over
+that experiment's result table.  :func:`verify_claims` runs them and
+returns a pass/fail report — the one-command answer to "does the
+reproduction still hold?" (``python -m repro claims``).
+
+Claims use reduced-scale experiment parameters so the whole sweep finishes
+in about a minute; the benchmarks assert the same shapes at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.report import ExperimentResult
+from repro.experiments.fig5_packing import run_fig5
+from repro.experiments.fig6_cvr import run_fig6
+from repro.experiments.fig9_migration import run_fig9
+
+CheckFn = Callable[[ExperimentResult], bool]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One verifiable claim from the paper.
+
+    Attributes
+    ----------
+    claim_id:
+        Short identifier (used in the report table).
+    statement:
+        The paper's claim, paraphrased.
+    source:
+        Where the paper makes it (section/figure).
+    check:
+        Predicate over the evidence experiment's result.
+    """
+
+    claim_id: str
+    statement: str
+    source: str
+    check: CheckFn
+
+
+def _mean_reduction(result: ExperimentResult, pattern: str) -> float:
+    return float(np.mean([r[5] for r in result.rows if r[0] == pattern]))
+
+
+def _fig5_checks() -> list[PaperClaim]:
+    return [
+        PaperClaim(
+            "pm-reduction-large",
+            "QUEUE uses up to ~45% fewer PMs than peak provisioning with "
+            "large spikes",
+            "abstract / Fig. 5(c)",
+            lambda r: _mean_reduction(r, "Rb<Re") >= 35.0,
+        ),
+        PaperClaim(
+            "pm-reduction-normal",
+            "QUEUE uses ~30% fewer PMs than peak provisioning with normal "
+            "spikes",
+            "abstract / Fig. 5(a)",
+            lambda r: 18.0 <= _mean_reduction(r, "Rb=Re") <= 40.0,
+        ),
+        PaperClaim(
+            "queue-between-rb-and-rp",
+            "QUEUE packs between normal and peak provisioning everywhere",
+            "Fig. 5",
+            lambda r: all(row[4] <= row[2] <= row[3] for row in r.rows),
+        ),
+    ]
+
+
+def _fig6_checks() -> list[PaperClaim]:
+    def queue_bounded(r: ExperimentResult) -> bool:
+        return all(row[2] <= 0.02 for row in r.rows if row[1] == "QUEUE")
+
+    def rp_clean(r: ExperimentResult) -> bool:
+        return all(row[2] == 0.0 for row in r.rows if row[1] == "RP")
+
+    def rb_disastrous(r: ExperimentResult) -> bool:
+        return all(row[2] > 0.1 for row in r.rows if row[1] == "RB")
+
+    return [
+        PaperClaim(
+            "cvr-bounded",
+            "QUEUE's CVR stays bounded by rho (a few PMs slightly above)",
+            "Section V-C / Fig. 6",
+            queue_bounded,
+        ),
+        PaperClaim(
+            "rp-never-violates",
+            "Peak provisioning never incurs capacity violations",
+            "Section V-C",
+            rp_clean,
+        ),
+        PaperClaim(
+            "rb-disastrous",
+            "Normal provisioning's CVR is unacceptably high",
+            "Section V-C / Fig. 6",
+            rb_disastrous,
+        ),
+    ]
+
+
+def _fig9_checks() -> list[PaperClaim]:
+    def by(r: ExperimentResult, pattern: str, strategy: str):
+        return next(row for row in r.rows
+                    if row[0] == pattern and row[1] == strategy)
+
+    def rb_migrates_most(r: ExperimentResult) -> bool:
+        return all(
+            by(r, p, "RB")[2] > 3 * max(by(r, p, "QUEUE")[2], 0.5)
+            for p in ("Rb=Re", "Rb>Re", "Rb<Re")
+        )
+
+    def queue_rarely_migrates(r: ExperimentResult) -> bool:
+        return all(by(r, p, "QUEUE")[2] <= 4.0
+                   for p in ("Rb=Re", "Rb>Re", "Rb<Re"))
+
+    def rbex_between(r: ExperimentResult) -> bool:
+        return all(by(r, p, "RB-EX")[2] <= by(r, p, "RB")[2]
+                   for p in ("Rb=Re", "Rb>Re", "Rb<Re"))
+
+    def cycle_migration_keeps_rb_low(r: ExperimentResult) -> bool:
+        return all(by(r, p, "RB")[5] <= by(r, p, "QUEUE")[5] + 1.0
+                   for p in ("Rb=Re", "Rb>Re", "Rb<Re"))
+
+    return [
+        PaperClaim(
+            "rb-migration-storm",
+            "RB incurs unacceptably more migrations than QUEUE",
+            "Section V-D / Fig. 9(a)",
+            rb_migrates_most,
+        ),
+        PaperClaim(
+            "queue-migration-free",
+            "QUEUE incurs very few migrations throughout",
+            "Section V-D",
+            queue_rarely_migrates,
+        ),
+        PaperClaim(
+            "rbex-alleviates",
+            "RB-EX alleviates the migration problem to some extent",
+            "Section V-D",
+            rbex_between,
+        ),
+        PaperClaim(
+            "cycle-migration",
+            "Cycle migration keeps RB's PM count at or below QUEUE's "
+            "despite the thrash",
+            "Section V-D / Fig. 9(b)",
+            cycle_migration_keeps_rb_low,
+        ),
+    ]
+
+
+#: evidence experiments (reduced scale) and the claims they support
+CLAIM_SUITES: list[tuple[str, Callable[[], ExperimentResult],
+                         list[PaperClaim]]] = [
+    ("fig5", lambda: run_fig5(n_vms_list=(100, 200), n_repetitions=3,
+                              seed=2013), _fig5_checks()),
+    ("fig6", lambda: run_fig6(n_vms=120, n_steps=10_000, n_repetitions=2,
+                              seed=2013), _fig6_checks()),
+    ("fig9", lambda: run_fig9(n_vms=100, n_repetitions=5, seed=2013),
+     _fig9_checks()),
+]
+
+
+def verify_claims() -> ExperimentResult:
+    """Run every evidence experiment and evaluate every claim.
+
+    Returns a table with one row per claim: id, source, verdict.
+    """
+    report = ExperimentResult(
+        experiment_id="claims",
+        description="Machine-checked paper claims (reduced scale)",
+        headers=["claim", "source", "verdict", "statement"],
+    )
+    for _, evidence_fn, claims in CLAIM_SUITES:
+        evidence = evidence_fn()
+        for claim in claims:
+            verdict = "PASS" if claim.check(evidence) else "FAIL"
+            report.add_row(claim.claim_id, claim.source, verdict,
+                           claim.statement)
+    report.notes.append(
+        f"{sum(1 for r in report.rows if r[2] == 'PASS')}/"
+        f"{len(report.rows)} claims hold at reduced scale"
+    )
+    return report

@@ -1,0 +1,63 @@
+"""Shared experiment settings (the paper's Section V parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.queuing_ffd import QueuingFFD
+from repro.placement.base import Placer
+from repro.placement.ffd import ffd_by_base, ffd_by_peak
+from repro.placement.rbex import RBExPlacer
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """The paper's evaluation parameters.
+
+    Attributes
+    ----------
+    rho:
+        CVR threshold (paper: 0.01).
+    d:
+        Max VMs per PM (paper: 16).
+    p_on, p_off:
+        Switch probabilities (paper: 0.01 / 0.09 — rare, short spikes).
+    delta:
+        RB-EX reservation fraction (paper: 0.3).
+    n_intervals:
+        Evaluation-period length in information-update intervals
+        (paper: 100 sigma with sigma = 30 s).
+    interval_seconds:
+        Length of sigma in seconds (for energy accounting only).
+    """
+
+    rho: float = 0.01
+    d: int = 16
+    p_on: float = 0.01
+    p_off: float = 0.09
+    delta: float = 0.3
+    n_intervals: int = 100
+    interval_seconds: float = 30.0
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+def strategies_for_packing(settings: ExperimentSettings = DEFAULT_SETTINGS
+                           ) -> dict[str, Placer]:
+    """The Fig. 5 strategy set: QUEUE vs RP vs RB."""
+    return {
+        "QUEUE": QueuingFFD(rho=settings.rho, d=settings.d),
+        "RP": ffd_by_peak(max_vms_per_pm=settings.d),
+        "RB": ffd_by_base(max_vms_per_pm=settings.d),
+    }
+
+
+def strategies_for_runtime(settings: ExperimentSettings = DEFAULT_SETTINGS
+                           ) -> dict[str, Placer]:
+    """The Fig. 9/10 strategy set: QUEUE vs RB vs RB-EX."""
+    return {
+        "QUEUE": QueuingFFD(rho=settings.rho, d=settings.d),
+        "RB": ffd_by_base(max_vms_per_pm=settings.d),
+        "RB-EX": RBExPlacer(settings.delta, max_vms_per_pm=settings.d),
+    }

@@ -1,0 +1,91 @@
+"""Figure 5: packing results (PMs used by QUEUE / RP / RB).
+
+The paper plots, per workload pattern, the number of PMs each strategy uses
+as the VM count grows.  Section V-C reports QUEUE's reduction vs RP as 45%
+for ``R_b > R_e``, 30% for ``R_b = R_e`` and 18% for ``R_b < R_e`` (note the
+abstract instead attributes 45% to *large* spikes — the paper is internally
+inconsistent here; EXPERIMENTS.md records our measured values against both
+readings).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.consolidation import pm_reduction_percent
+from repro.analysis.report import ExperimentResult
+from repro.experiments.config import DEFAULT_SETTINGS, ExperimentSettings, strategies_for_packing
+from repro.utils.rng import SeedLike, spawn_children
+from repro.workload.patterns import PatternName, generate_pattern_instance
+
+PATTERNS: tuple[PatternName, ...] = ("equal", "small", "large")
+PATTERN_LABELS = {"equal": "Rb=Re", "small": "Rb>Re", "large": "Rb<Re"}
+
+
+def run_fig5(
+    *,
+    n_vms_list: Sequence[int] = (100, 200, 400, 800),
+    n_repetitions: int = 3,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    seed: SeedLike = 2013,
+) -> ExperimentResult:
+    """Regenerate Fig. 5(a-c): PMs used per strategy, pattern and VM count.
+
+    Each (pattern, n) cell averages ``n_repetitions`` random instances.
+    Columns additionally report QUEUE's percent PM reduction vs RP and the
+    extra PMs QUEUE needs vs RB.
+    """
+    result = ExperimentResult(
+        experiment_id="fig5",
+        description="Packing result: PMs used by QUEUE vs FFD-by-Rp vs FFD-by-Rb",
+        params={
+            "rho": settings.rho, "d": settings.d,
+            "p_on": settings.p_on, "p_off": settings.p_off,
+            "repetitions": n_repetitions,
+        },
+        headers=["pattern", "n_vms", "QUEUE", "RP", "RB",
+                 "QUEUE_vs_RP_%", "QUEUE_extra_vs_RB"],
+    )
+    strategies = strategies_for_packing(settings)
+    rngs = iter(spawn_children(seed, len(PATTERNS) * len(n_vms_list) * n_repetitions))
+    for pattern in PATTERNS:
+        for n in n_vms_list:
+            used = {name: [] for name in strategies}
+            reductions, extras = [], []
+            for _ in range(n_repetitions):
+                rng = next(rngs)
+                vms, pms = generate_pattern_instance(
+                    pattern, n, p_on=settings.p_on, p_off=settings.p_off, seed=rng
+                )
+                placements = {
+                    name: placer.place(vms, pms)
+                    for name, placer in strategies.items()
+                }
+                for name, placement in placements.items():
+                    used[name].append(placement.n_used_pms)
+                reductions.append(
+                    pm_reduction_percent(placements["QUEUE"], placements["RP"])
+                )
+                extras.append(
+                    placements["QUEUE"].n_used_pms - placements["RB"].n_used_pms
+                )
+            result.add_row(
+                PATTERN_LABELS[pattern], n,
+                float(np.mean(used["QUEUE"])),
+                float(np.mean(used["RP"])),
+                float(np.mean(used["RB"])),
+                float(np.mean(reductions)),
+                float(np.mean(extras)),
+            )
+    # Shape notes matching the paper's claims.
+    by_pattern = {}
+    for row in result.rows:
+        by_pattern.setdefault(row[0], []).append(row[5])
+    for label, reds in by_pattern.items():
+        result.notes.append(
+            f"{label}: QUEUE uses {np.mean(reds):.0f}% fewer PMs than RP "
+            f"(paper: ~30% for Rb=Re, 45% for Rb>Re, 18% for Rb<Re)"
+        )
+    return result

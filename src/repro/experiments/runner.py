@@ -1,0 +1,220 @@
+"""Command-line runner: experiments plus the consolidation toolchain.
+
+Regenerate the paper's artifacts:
+
+    python -m repro list                 # what can be run
+    python -m repro run fig5             # one artifact
+    python -m repro run all              # everything
+    python -m repro run fig10 --plot     # with an ASCII figure
+    python -m repro run fig5 -o out/     # persist tables to a directory
+
+Operate on files (the production-shaped workflow):
+
+    python -m repro fit traces.csv -o instance.json      # traces -> specs
+    python -m repro consolidate instance.json -o map.json  # specs -> placement
+
+``fit`` consumes a CSV trace matrix (see ``repro.workload.io``) and writes
+an instance whose PM fleet defaults to one 100-unit PM per VM;
+``consolidate`` places it with QueuingFFD and reports the packing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.report import ExperimentResult, render_result
+from repro.experiments.fig5_packing import run_fig5
+from repro.experiments.fig6_cvr import run_fig6
+from repro.experiments.fig7_cost import run_fig7
+from repro.experiments.fig8_trace import run_fig8
+from repro.experiments.fig9_migration import run_fig9
+from repro.experiments.fig10_timeline import run_fig10
+from repro.experiments.table1 import run_table1
+
+EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], str]] = {
+    "table1": (run_table1, "Table I: workload pattern specifications"),
+    "fig5": (lambda: run_fig5(), "Fig. 5: packing result (QUEUE/RP/RB)"),
+    "fig6": (lambda: run_fig6(), "Fig. 6: runtime CVR per placement"),
+    "fig7": (lambda: run_fig7(), "Fig. 7: computation cost of Algorithm 2"),
+    "fig8": (lambda: run_fig8(), "Fig. 8: sample web-server workload"),
+    "fig9": (lambda: run_fig9(), "Fig. 9: live-migration runtime metrics"),
+    "fig10": (lambda: run_fig10(), "Fig. 10: migration-event timeline"),
+}
+
+
+def _register_ablations() -> None:
+    """Expose every ablation study under its experiment id."""
+    from repro.experiments.ablations import ABLATIONS
+
+    for exp_id, (fn, desc) in ABLATIONS.items():
+        EXPERIMENTS[exp_id] = (fn, f"Ablation: {desc}")
+
+
+_register_ablations()
+
+
+def _plot(result: ExperimentResult) -> str | None:
+    """Best-effort ASCII rendering of the figure behind a result table."""
+    from repro.viz.ascii_charts import bar_chart, line_chart, sparkline
+
+    if result.experiment_id == "fig5":
+        data = {}
+        for row in result.rows:
+            data[f"{row[0]} n={row[1]} QUEUE"] = row[2]
+            data[f"{row[0]} n={row[1]} RP"] = row[3]
+            data[f"{row[0]} n={row[1]} RB"] = row[4]
+        return bar_chart(data, title="PMs used")
+    if result.experiment_id == "fig8":
+        return "requests/interval: " + sparkline(
+            [float(r) for r in result.column("requests")]
+        )
+    if result.experiment_id == "fig9":
+        data = {f"{r[0]} {r[1]}": r[2] for r in result.rows}
+        return bar_chart(data, title="total migrations (avg of 10 runs)")
+    if result.experiment_id == "fig10":
+        series = {
+            name: [float(v) for v in result.column(f"{name}_cum_migrations")]
+            for name in ("QUEUE", "RB", "RB-EX")
+        }
+        return line_chart(series, title="cumulative migrations over time")
+    if result.experiment_id == "fig6":
+        data = {f"{r[0]} {r[1]}": r[2] for r in result.rows}
+        return bar_chart(data, value_fmt=".4f", title="mean CVR")
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The runner's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment or 'all'")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--plot", action="store_true",
+                     help="also draw an ASCII rendering of the figure")
+    run.add_argument("-o", "--output-dir", type=Path, default=None,
+                     help="write each table to <dir>/<id>.txt")
+
+    fit = sub.add_parser("fit", help="fit ON-OFF specs to a CSV trace matrix")
+    fit.add_argument("traces", type=Path, help="CSV written by save_traces")
+    fit.add_argument("-o", "--output", type=Path, default=None,
+                     help="write the fitted instance JSON here")
+    fit.add_argument("--hmm", action="store_true",
+                     help="use the Baum-Welch estimator (robust to noise)")
+    fit.add_argument("--margin", type=float, default=None,
+                     help="size demand levels at this percentile (e.g. 0.95)")
+    fit.add_argument("--pm-capacity", type=float, default=100.0,
+                     help="capacity of each PM in the emitted instance")
+
+    cons = sub.add_parser("consolidate",
+                          help="place an instance JSON with QueuingFFD")
+    cons.add_argument("instance", type=Path,
+                      help="instance JSON written by save_instance / fit")
+    cons.add_argument("-o", "--output", type=Path, default=None,
+                      help="write the placement JSON here")
+    cons.add_argument("--rho", type=float, default=0.01)
+    cons.add_argument("--d", type=int, default=16)
+    cons.add_argument("--exact", action="store_true",
+                      help="use the exact heterogeneous (Poisson-binomial) "
+                           "variant instead of rounding")
+
+    sub.add_parser("claims",
+                   help="machine-check the paper's headline claims")
+    return parser
+
+
+def _cmd_fit(args) -> int:
+    from repro.core.types import PMSpec
+    from repro.markov.hmm import fit_hmm_onoff
+    from repro.workload.estimation import fit_onoff
+    from repro.workload.io import load_traces, save_instance
+
+    traces = load_traces(args.traces)
+    specs = []
+    print(f"{'vm':>4s} {'p_on':>8s} {'p_off':>8s} {'R_b':>8s} {'R_e':>8s} "
+          f"{'transitions':>11s}")
+    for i in range(traces.shape[0]):
+        if args.hmm:
+            fit = fit_hmm_onoff(traces[i])
+        else:
+            fit = fit_onoff(traces[i], percentile_margin=args.margin)
+        specs.append(fit.to_vmspec())
+        print(f"{i:4d} {fit.p_on:8.4f} {fit.p_off:8.4f} {fit.r_base:8.2f} "
+              f"{fit.r_extra:8.2f} {fit.n_transitions:11d}")
+    if args.output is not None:
+        pms = [PMSpec(args.pm_capacity)] * len(specs)
+        save_instance(args.output, specs, pms)
+        print(f"[instance with {len(specs)} VMs written to {args.output}]")
+    return 0
+
+
+def _cmd_consolidate(args) -> int:
+    from repro.core.heterogeneous import HeterogeneousQueuingFFD
+    from repro.core.queuing_ffd import QueuingFFD
+    from repro.workload.io import load_instance, save_placement
+
+    vms, pms = load_instance(args.instance)
+    if args.exact:
+        placer = HeterogeneousQueuingFFD(rho=args.rho, d=args.d)
+    else:
+        placer = QueuingFFD(rho=args.rho, d=args.d)
+    placement = placer.place(vms, pms)
+    print(f"{placer.name}: {len(vms)} VMs -> {placement.n_used_pms} PMs "
+          f"(rho={args.rho}, d={args.d})")
+    for pm_idx in placement.used_pms():
+        hosted = placement.vms_on(int(pm_idx))
+        base = sum(vms[i].r_base for i in hosted)
+        print(f"  PM {int(pm_idx):3d}: {len(hosted):2d} VMs, "
+              f"base load {base:7.1f} / {pms[int(pm_idx)].capacity:.1f}")
+    if args.output is not None:
+        save_placement(args.output, placement)
+        print(f"[placement written to {args.output}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "consolidate":
+        return _cmd_consolidate(args)
+    if args.command == "claims":
+        from repro.experiments.claims import verify_claims
+
+        report = verify_claims()
+        print(render_result(report))
+        return 0 if all(r[2] == "PASS" for r in report.rows) else 1
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn, _ = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        text = render_result(result)
+        print(text)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+        if args.plot:
+            art = _plot(result)
+            if art:
+                print(art + "\n")
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

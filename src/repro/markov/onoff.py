@@ -1,0 +1,170 @@
+"""The per-VM ON-OFF workload chain (paper Fig. 2).
+
+A VM alternates between OFF (normal demand ``R_b``) and ON (peak demand
+``R_p = R_b + R_e``).  Each time interval it flips OFF->ON with probability
+``p_on`` and ON->OFF with probability ``p_off``.  As the paper notes, ``p_on``
+controls spike *frequency* and ``p_off`` controls spike *duration*: sojourn
+times are geometric, so a spike lasts ``1/p_off`` intervals on average and the
+gap between spikes averages ``1/p_on`` intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.chain import DiscreteMarkovChain
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+OFF = 0
+ON = 1
+
+
+@dataclass(frozen=True)
+class OnOffChain:
+    """Two-state ON-OFF Markov chain with switch probabilities.
+
+    Attributes
+    ----------
+    p_on:
+        Probability of switching OFF -> ON in one interval (spike frequency).
+    p_off:
+        Probability of switching ON -> OFF in one interval (inverse spike
+        duration).
+    """
+
+    p_on: float
+    p_off: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_on, "p_on", allow_zero=False)
+        check_probability(self.p_off, "p_off", allow_zero=False)
+
+    # ------------------------------------------------------------------ #
+    # closed-form analytics
+    # ------------------------------------------------------------------ #
+    @property
+    def stationary_on_probability(self) -> float:
+        """Long-run fraction of time spent ON: ``p_on / (p_on + p_off)``."""
+        return self.p_on / (self.p_on + self.p_off)
+
+    @property
+    def stationary_off_probability(self) -> float:
+        """Long-run fraction of time spent OFF."""
+        return self.p_off / (self.p_on + self.p_off)
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected consecutive ON intervals (geometric mean ``1 / p_off``)."""
+        return 1.0 / self.p_off
+
+    @property
+    def mean_gap_length(self) -> float:
+        """Expected consecutive OFF intervals (``1 / p_on``)."""
+        return 1.0 / self.p_on
+
+    @property
+    def cycle_length(self) -> float:
+        """Expected ON+OFF cycle length in intervals."""
+        return self.mean_burst_length + self.mean_gap_length
+
+    def burst_length_pmf(self, lengths: np.ndarray) -> np.ndarray:
+        """PMF of burst durations: geometric with success prob ``p_off``.
+
+        ``P[L = l] = (1 - p_off)^(l-1) p_off`` for integer ``l >= 1``.
+        """
+        lengths = np.asarray(lengths)
+        pmf = np.where(
+            lengths >= 1,
+            (1.0 - self.p_off) ** (np.maximum(lengths, 1) - 1) * self.p_off,
+            0.0,
+        )
+        return pmf
+
+    def autocorrelation(self, lag: int) -> float:
+        """Autocorrelation of the ON indicator at integer ``lag``.
+
+        For a two-state chain the indicator's autocorrelation decays
+        geometrically with the second eigenvalue
+        ``lambda_2 = 1 - p_on - p_off``.
+        """
+        if lag < 0:
+            raise ValueError(f"lag must be >= 0, got {lag}")
+        return (1.0 - self.p_on - self.p_off) ** lag
+
+    # ------------------------------------------------------------------ #
+    # matrix / simulation views
+    # ------------------------------------------------------------------ #
+    def transition_matrix(self) -> np.ndarray:
+        """2x2 row-stochastic matrix with state order (OFF, ON)."""
+        return np.array(
+            [
+                [1.0 - self.p_on, self.p_on],
+                [self.p_off, 1.0 - self.p_off],
+            ]
+        )
+
+    def as_chain(self) -> DiscreteMarkovChain:
+        """View this ON-OFF process as a generic :class:`DiscreteMarkovChain`."""
+        return DiscreteMarkovChain(self.transition_matrix())
+
+    def simulate(self, n_steps: int, *, initial_state: int = OFF,
+                 seed: SeedLike = None) -> np.ndarray:
+        """Sample a single 0/1 state trajectory of length ``n_steps + 1``."""
+        if initial_state not in (OFF, ON):
+            raise ValueError(f"initial_state must be 0 (OFF) or 1 (ON), got {initial_state}")
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        rng = as_generator(seed)
+        u = rng.random(n_steps)
+        out = np.empty(n_steps + 1, dtype=np.int8)
+        out[0] = initial_state
+        s = initial_state
+        for t in range(n_steps):
+            if s == OFF:
+                s = ON if u[t] < self.p_on else OFF
+            else:
+                s = OFF if u[t] < self.p_off else ON
+            out[t + 1] = s
+        return out
+
+    def simulate_ensemble(self, n_vms: int, n_steps: int, *,
+                          start_stationary: bool = False,
+                          seed: SeedLike = None) -> np.ndarray:
+        """Sample ``n_vms`` independent trajectories simultaneously.
+
+        Vectorized across VMs: each step draws one uniform per VM and flips
+        states with the appropriate probability, so the cost is
+        ``O(n_vms * n_steps)`` with NumPy inner loops only over time.
+
+        Parameters
+        ----------
+        start_stationary:
+            If true, initial states are drawn from the stationary law instead
+            of all starting OFF (the paper starts at OFF: ``Pi_0 = (1,0,...)``).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int8`` array of shape ``(n_vms, n_steps + 1)``.
+        """
+        if n_vms < 0:
+            raise ValueError(f"n_vms must be >= 0, got {n_vms}")
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        rng = as_generator(seed)
+        states = np.empty((n_vms, n_steps + 1), dtype=np.int8)
+        if start_stationary:
+            states[:, 0] = rng.random(n_vms) < self.stationary_on_probability
+        else:
+            states[:, 0] = OFF
+        current = states[:, 0].astype(bool)
+        for t in range(n_steps):
+            u = rng.random(n_vms)
+            switch_on = ~current & (u < self.p_on)
+            switch_off = current & (u < self.p_off)
+            current = (current | switch_on) & ~switch_off
+            states[:, t + 1] = current
+        return states

@@ -1,0 +1,110 @@
+"""Spectral diagnostics of finite chains.
+
+The second-largest eigenvalue modulus (SLEM) of a chain controls how fast
+simulations decorrelate: the relaxation time ``1 / (1 - SLEM)`` sets the
+scale of the integrated autocorrelation time (IACT), which in turn tells
+you how many *effective* samples a CVR trajectory contains and how long
+batch-means batches must be.  These helpers make those quantities explicit
+so the statistics in :mod:`repro.analysis.stats` can be sized instead of
+guessed.
+
+For the two-state ON-OFF chain everything is closed-form
+(``SLEM = |1 - p_on - p_off|``); for the busy-block chain the spectrum
+comes from a dense eigendecomposition (fine for k <= a few hundred).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.chain import DiscreteMarkovChain
+from repro.utils.validation import check_positive
+
+
+def eigenvalue_moduli(chain: DiscreteMarkovChain) -> np.ndarray:
+    """Moduli of the chain's eigenvalues, sorted descending (first is 1)."""
+    vals = np.linalg.eigvals(chain.transition_matrix)
+    moduli = np.sort(np.abs(vals))[::-1]
+    return moduli
+
+
+def slem(chain: DiscreteMarkovChain) -> float:
+    """Second-largest eigenvalue modulus.
+
+    0 for a chain that hits stationarity in one step; approaching 1 for a
+    slowly mixing chain.
+    """
+    moduli = eigenvalue_moduli(chain)
+    if moduli.size < 2:
+        return 0.0
+    return float(min(moduli[1], 1.0))
+
+
+def relaxation_time(chain: DiscreteMarkovChain) -> float:
+    """``1 / (1 - SLEM)`` — the exponential decorrelation scale in steps.
+
+    Infinite for a periodic/reducible chain (SLEM = 1).
+    """
+    gap = 1.0 - slem(chain)
+    if gap <= 0.0:
+        return float("inf")
+    return 1.0 / gap
+
+
+def integrated_autocorrelation_time(rho1: float) -> float:
+    """IACT of an AR(1)-like indicator with lag-1 autocorrelation ``rho1``.
+
+    ``tau = (1 + rho1) / (1 - rho1)`` — exact for geometrically decaying
+    autocorrelations, which is what two-state indicators have.  A series of
+    length ``T`` then carries ``T / tau`` effective samples.
+    """
+    if not -1.0 < rho1 < 1.0:
+        raise ValueError(f"rho1 must be in (-1, 1), got {rho1}")
+    return (1.0 + rho1) / (1.0 - rho1)
+
+
+def effective_sample_size(n_samples: int, rho1: float) -> float:
+    """Effective number of independent samples in a correlated series."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    return n_samples / integrated_autocorrelation_time(rho1)
+
+
+def recommended_batch_size(rho1: float, *, multiple: float = 10.0) -> int:
+    """Batch length for batch means: a multiple of the IACT (>= 1).
+
+    With batches ~10 IACTs long, adjacent batch means are effectively
+    independent and the t-interval in
+    :func:`repro.analysis.stats.batch_means` is trustworthy.
+    """
+    check_positive(multiple, "multiple")
+    target = multiple * integrated_autocorrelation_time(rho1)
+    return max(1, int(np.ceil(target - 1e-9)))  # tolerance absorbs float dust
+
+
+def cvr_estimation_plan(p_on: float, p_off: float, *, n_samples: int,
+                        n_batches: int = 20) -> dict[str, float]:
+    """Sizing summary for estimating CVR from one ON-OFF-driven trajectory.
+
+    Uses the ON-indicator's exact lag-1 autocorrelation
+    ``1 - p_on - p_off`` as the correlation scale of the violation
+    indicator (violations are driven by the same switching dynamics).
+
+    Returns ``slem``, ``relaxation_time``, ``iact``,
+    ``effective_samples``, ``recommended_batch``, and
+    ``batches_supported`` (how many batches of the recommended size fit).
+    """
+    from repro.markov.onoff import OnOffChain
+
+    chain = OnOffChain(p_on, p_off)
+    rho1 = chain.autocorrelation(1)
+    iact = integrated_autocorrelation_time(rho1)
+    batch = recommended_batch_size(rho1)
+    return {
+        "slem": abs(rho1),
+        "relaxation_time": relaxation_time(chain.as_chain()),
+        "iact": iact,
+        "effective_samples": effective_sample_size(n_samples, rho1),
+        "recommended_batch": float(batch),
+        "batches_supported": float(n_samples // batch),
+    }

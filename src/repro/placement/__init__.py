@@ -1,0 +1,55 @@
+"""Placement strategies: the paper's baselines plus related-work comparators.
+
+- :mod:`repro.placement.base` — the :class:`Placer` interface and errors.
+- :mod:`repro.placement.ffd` — classic bin-packing placers: FFD by ``R_p``
+  (the paper's RP baseline), FFD by ``R_b`` (RB), and generic
+  first/best/worst/next-fit variants for ablations.
+- :mod:`repro.placement.rbex` — RB-EX: FFD by ``R_b`` with a fixed
+  ``delta``-fraction of each PM's capacity withheld (Section V-D).
+- :mod:`repro.placement.sbp` — stochastic bin packing with normal
+  approximation ("effective size"), the related-work baseline of
+  [Wang et al. INFOCOM'11] style used for the ablation comparison.
+- :mod:`repro.placement.validation` — placement validity checks shared by
+  tests and the simulator.
+"""
+
+from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.ffd import (
+    BestFitDecreasing,
+    FirstFitDecreasing,
+    NextFit,
+    WorstFitDecreasing,
+    ffd_by_base,
+    ffd_by_peak,
+)
+from repro.placement.optimal import (
+    BranchAndBoundPacker,
+    lower_bound_l1,
+    lower_bound_l2,
+)
+from repro.placement.rbex import RBExPlacer
+from repro.placement.sbp import StochasticBinPacker
+from repro.placement.validation import (
+    check_capacity_at_base,
+    check_capacity_at_peak,
+    check_placement_complete,
+)
+
+__all__ = [
+    "InsufficientCapacityError",
+    "Placer",
+    "BestFitDecreasing",
+    "FirstFitDecreasing",
+    "NextFit",
+    "WorstFitDecreasing",
+    "ffd_by_base",
+    "ffd_by_peak",
+    "BranchAndBoundPacker",
+    "lower_bound_l1",
+    "lower_bound_l2",
+    "RBExPlacer",
+    "StochasticBinPacker",
+    "check_capacity_at_base",
+    "check_capacity_at_peak",
+    "check_placement_complete",
+]

@@ -1,0 +1,56 @@
+"""The placer interface shared by all consolidation strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.types import Placement, PMSpec, VMSpec
+
+
+class InsufficientCapacityError(RuntimeError):
+    """Raised when a placer cannot fit every VM onto the available PMs."""
+
+    def __init__(self, vm_index: int, message: str | None = None):
+        self.vm_index = vm_index
+        super().__init__(
+            message or f"no PM can accommodate VM {vm_index}; add PMs or capacity"
+        )
+
+
+class Placer(ABC):
+    """A consolidation strategy mapping VMs onto PMs.
+
+    Implementations must place *every* VM or raise
+    :class:`InsufficientCapacityError`; partial placements are never
+    returned.  Placers are stateless with respect to problem instances and
+    may be reused.
+    """
+
+    #: short identifier used in experiment tables (e.g. "QUEUE", "RP", "RB")
+    name: str = "placer"
+
+    @abstractmethod
+    def place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
+        """Compute a complete VM -> PM assignment.
+
+        Parameters
+        ----------
+        vms:
+            VM specifications, indexed 0..n-1.
+        pms:
+            PM specifications, indexed 0..m-1.
+
+        Returns
+        -------
+        Placement
+            Assignment with every VM placed.
+
+        Raises
+        ------
+        InsufficientCapacityError
+            If some VM fits on no PM under the strategy's constraint.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

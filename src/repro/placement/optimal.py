@@ -1,0 +1,196 @@
+"""Exact bin packing by branch and bound, plus classical lower bounds.
+
+The paper's heuristics are greedy; to know how much the heuristic costs,
+this module solves *small* instances exactly:
+
+- :func:`lower_bound_l1` — the continuous bound ``ceil(sum sizes / C)``.
+- :func:`lower_bound_l2` — Martello & Toth's L2 bound (pairs items larger
+  than C/2 with what fits beside them); dominates L1.
+- :class:`BranchAndBoundPacker` — depth-first branch and bound over
+  "place next item into each open bin or a new bin", with symmetry breaking
+  (identical open bins collapse), L2-based pruning, and a node budget so it
+  degrades to the incumbent (FFD) solution instead of hanging.
+
+For uniform capacities only — which suffices for the optimality-gap
+benchmark; heterogeneous capacities would need a different symmetry rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Placement, PMSpec, VMSpec
+from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.ffd import FirstFitDecreasing, SizeFn, size_by_peak
+from repro.utils.validation import check_integer, check_positive
+
+_EPS = 1e-9
+
+
+def lower_bound_l1(sizes: np.ndarray, capacity: float) -> int:
+    """Continuous lower bound: total size over capacity, rounded up."""
+    sizes = np.asarray(sizes, dtype=float)
+    check_positive(capacity, "capacity")
+    if np.any(sizes < 0) or np.any(sizes > capacity + _EPS):
+        raise ValueError("sizes must lie in [0, capacity]")
+    if sizes.size == 0:
+        return 0
+    return int(math.ceil(sizes.sum() / capacity - _EPS))
+
+
+def lower_bound_l2(sizes: np.ndarray, capacity: float) -> int:
+    """Martello-Toth L2 lower bound (maximized over the alpha parameter).
+
+    For each threshold ``alpha <= C/2``: items > C - alpha each need their
+    own bin among themselves (call them big); items in (C/2, C - alpha]
+    also occupy distinct bins; items in [alpha, C/2] can only ride along in
+    the leftover space.  The bound counts the bins the large items force
+    plus the overflow of medium mass that cannot fit in their slack.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    check_positive(capacity, "capacity")
+    if sizes.size == 0:
+        return 0
+    if np.any(sizes < 0) or np.any(sizes > capacity + _EPS):
+        raise ValueError("sizes must lie in [0, capacity]")
+    best = lower_bound_l1(sizes, capacity)
+    candidates = np.unique(
+        np.concatenate(([0.0], sizes[sizes <= capacity / 2.0 + _EPS]))
+    )
+    for alpha in candidates:
+        big = sizes[sizes > capacity - alpha + _EPS]
+        mid = sizes[(sizes > capacity / 2.0 + _EPS)
+                    & (sizes <= capacity - alpha + _EPS)]
+        small = sizes[(sizes >= alpha - _EPS)
+                      & (sizes <= capacity / 2.0 + _EPS)]
+        n_forced = big.size + mid.size
+        slack = mid.size * capacity - mid.sum()
+        overflow = small.sum() - slack
+        extra = max(0, int(math.ceil(overflow / capacity - _EPS)))
+        best = max(best, n_forced + extra)
+    return best
+
+
+@dataclass
+class _SearchStats:
+    nodes: int = 0
+    exhausted: bool = True
+
+
+class BranchAndBoundPacker(Placer):
+    """Exact (or budget-limited) bin packing for uniform capacities.
+
+    Parameters
+    ----------
+    size_fn:
+        Scalar size of each VM (defaults to peak demand, matching the RP
+        baseline's packing problem).
+    max_nodes:
+        Search-node budget; on exhaustion the best solution found so far
+        (at worst the FFD incumbent) is returned and
+        :attr:`last_proven_optimal` is False.
+    """
+
+    name = "OPT"
+
+    def __init__(self, size_fn: SizeFn = size_by_peak, *, max_nodes: int = 200_000):
+        self.size_fn = size_fn
+        self.max_nodes = check_integer(max_nodes, "max_nodes", minimum=1)
+        self.last_proven_optimal: bool = False
+        self.last_nodes_explored: int = 0
+
+    def place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
+        if not pms:
+            if not vms:
+                return Placement(0, 0)
+            raise InsufficientCapacityError(0, "no PMs available")
+        capacity = pms[0].capacity
+        if any(abs(p.capacity - capacity) > _EPS for p in pms):
+            raise ValueError(
+                "BranchAndBoundPacker requires uniform PM capacities"
+            )
+        sizes = np.array([self.size_fn(v) for v in vms], dtype=float)
+        too_big = np.flatnonzero(sizes > capacity + _EPS)
+        if too_big.size:
+            raise InsufficientCapacityError(int(too_big[0]))
+
+        n = len(vms)
+        if n == 0:
+            return Placement(0, len(pms))
+        order = np.argsort(-sizes, kind="stable")
+        sorted_sizes = sizes[order]
+
+        # Incumbent: FFD.
+        incumbent = FirstFitDecreasing(self.size_fn).place(vms, pms)
+        best_bins = incumbent.n_used_pms
+        best_assign_sorted = np.empty(n, dtype=np.int64)
+        # Recover FFD's assignment in sorted order, relabelled to bin ranks.
+        pm_rank = {int(pm): r for r, pm in enumerate(incumbent.used_pms())}
+        for pos, vm_idx in enumerate(order):
+            best_assign_sorted[pos] = pm_rank[incumbent.pm_of(int(vm_idx))]
+
+        lb_root = lower_bound_l2(sizes, capacity)
+        stats = _SearchStats()
+        current = np.empty(n, dtype=np.int64)
+        free: list[float] = []
+
+        best_holder = {"bins": best_bins,
+                       "assign": best_assign_sorted.copy()}
+
+        def dfs(pos: int) -> None:
+            if stats.nodes >= self.max_nodes:
+                stats.exhausted = False
+                return
+            stats.nodes += 1
+            if len(free) >= best_holder["bins"]:
+                return  # already no better than incumbent
+            if pos == n:
+                best_holder["bins"] = len(free)
+                best_holder["assign"] = current[:n].copy()
+                return
+            # Remaining-mass bound.
+            remaining = sorted_sizes[pos:]
+            lb = len(free) + max(
+                0,
+                math.ceil((remaining.sum() - sum(free)) / capacity - _EPS),
+            )
+            if lb >= best_holder["bins"]:
+                return
+            size = sorted_sizes[pos]
+            seen_residuals: set[float] = set()
+            for b, room in enumerate(free):
+                if room + _EPS >= size:
+                    key = round(room, 9)
+                    if key in seen_residuals:
+                        continue  # symmetric to an already-tried bin
+                    seen_residuals.add(key)
+                    free[b] = room - size
+                    current[pos] = b
+                    dfs(pos + 1)
+                    free[b] = room
+                    if best_holder["bins"] == lb_root:
+                        return  # proven optimal
+            # Open a new bin (only if the result can still beat the incumbent).
+            if len(free) + 1 < best_holder["bins"]:
+                free.append(capacity - size)
+                current[pos] = len(free) - 1
+                dfs(pos + 1)
+                free.pop()
+
+        dfs(0)
+        self.last_nodes_explored = stats.nodes
+        self.last_proven_optimal = stats.exhausted or (
+            best_holder["bins"] == lb_root
+        )
+
+        n_bins = best_holder["bins"]
+        if n_bins > len(pms):  # pragma: no cover - incumbent used <= len(pms)
+            raise InsufficientCapacityError(-1, "solution needs more PMs than exist")
+        placement = Placement(n, len(pms))
+        for pos, vm_idx in enumerate(order):
+            placement.place(int(vm_idx), int(best_holder["assign"][pos]))
+        return placement

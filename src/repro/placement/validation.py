@@ -1,0 +1,70 @@
+"""Placement validity checks shared by the test suite and the simulator."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Placement, PMSpec, VMSpec
+
+_EPS = 1e-9
+
+
+def check_placement_complete(placement: Placement) -> None:
+    """Raise if any VM is unplaced."""
+    if not placement.all_placed:
+        missing = np.flatnonzero(placement.assignment == -1)
+        raise AssertionError(f"placement leaves VMs unplaced: {missing[:10].tolist()}")
+
+
+def _aggregate(placement: Placement, sizes: np.ndarray) -> np.ndarray:
+    totals = np.zeros(placement.n_pms)
+    placed = placement.assignment != -1
+    np.add.at(totals, placement.assignment[placed], sizes[placed])
+    return totals
+
+
+def check_capacity_at_base(placement: Placement, vms: Sequence[VMSpec],
+                           pms: Sequence[PMSpec]) -> None:
+    """Raise unless every PM's aggregate ``R_b`` fits its capacity.
+
+    This is the paper's Eq. (3) at ``t = 0`` with all VMs OFF — the weakest
+    physical-feasibility requirement every strategy must satisfy.
+    """
+    sizes = np.array([v.r_base for v in vms])
+    caps = np.array([p.capacity for p in pms])
+    totals = _aggregate(placement, sizes)
+    bad = np.flatnonzero(totals > caps + _EPS)
+    if bad.size:
+        raise AssertionError(
+            f"base demand exceeds capacity on PMs {bad[:10].tolist()} "
+            f"(e.g. {totals[bad[0]]:.3f} > {caps[bad[0]]:.3f})"
+        )
+
+
+def check_capacity_at_peak(placement: Placement, vms: Sequence[VMSpec],
+                           pms: Sequence[PMSpec]) -> None:
+    """Raise unless every PM fits the aggregate *peak* demand ``R_p``.
+
+    Only peak-provisioned placements (the RP baseline) are expected to pass;
+    for QUEUE placements this holds only when MapCal returned ``K = k``
+    everywhere.
+    """
+    sizes = np.array([v.r_peak for v in vms])
+    caps = np.array([p.capacity for p in pms])
+    totals = _aggregate(placement, sizes)
+    bad = np.flatnonzero(totals > caps + _EPS)
+    if bad.size:
+        raise AssertionError(
+            f"peak demand exceeds capacity on PMs {bad[:10].tolist()} "
+            f"(e.g. {totals[bad[0]]:.3f} > {caps[bad[0]]:.3f})"
+        )
+
+
+def max_vms_on_any_pm(placement: Placement) -> int:
+    """Largest number of VMs collocated on one PM (0 if nothing placed)."""
+    placed = placement.assignment[placement.assignment != -1]
+    if placed.size == 0:
+        return 0
+    return int(np.bincount(placed).max())

@@ -1,0 +1,46 @@
+"""Queueing-theory substrate.
+
+The paper formalizes the reserved blocks on a PM as a *discrete-time,
+finite-source, K-window queue with geometric service times and no waiting
+room* (finite-source Geom/Geom/K/K).  This package implements:
+
+- :mod:`repro.queueing.geom_geom_k` — the discrete model: occupancy
+  distribution, the overflow/CVR tail used by MapCal, and a true
+  loss-system variant where excess spikes are clipped at K.
+- :mod:`repro.queueing.engset` — the continuous-time Engset loss system,
+  the classical limit of the discrete model as switch probabilities shrink;
+  used as an analytic cross-check in the test suite.
+- :mod:`repro.queueing.metrics` — occupancy/utilization/loss summary metrics.
+"""
+
+from repro.queueing.delay import (
+    degradation_profile,
+    expected_backlog,
+    mean_wait_littles_law,
+    waiting_probability,
+)
+from repro.queueing.engset import engset_blocking_probability, engset_distribution
+from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+from repro.queueing.metrics import QueueMetrics, summarize_occupancy
+from repro.queueing.transient import (
+    expected_time_to_violation,
+    expected_violation_episode_length,
+    occupancy_at,
+    violation_probability_curve,
+)
+
+__all__ = [
+    "degradation_profile",
+    "expected_backlog",
+    "mean_wait_littles_law",
+    "waiting_probability",
+    "FiniteSourceGeomGeomK",
+    "engset_blocking_probability",
+    "engset_distribution",
+    "QueueMetrics",
+    "summarize_occupancy",
+    "expected_time_to_violation",
+    "expected_violation_episode_length",
+    "occupancy_at",
+    "violation_probability_curve",
+]

@@ -1,0 +1,77 @@
+"""Deferred-spike (waiting) metrics over the busy-block chain.
+
+The paper's queue has *no waiting room*: a spike that finds every block busy
+violates capacity.  An alternative service model defers the excess instead —
+the VM runs degraded at its base allocation until a block frees (think CPU
+caps rather than memory).  The demand process is unchanged (waiting does not
+alter who is ON), so the same stationary law ``pi`` prices the degradation:
+
+- backlog          ``B = (theta - K)^+``          (spikes waiting)
+- P[wait]          ``P[theta > K]``               (= the paper's CVR)
+- mean backlog     ``E[B] = sum_{m > K} (m - K) pi_m``
+- mean wait        by Little's law over spike arrivals.
+
+These metrics let an operator compare the two failure semantics — violate
+vs degrade — on the same reservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+from repro.utils.validation import check_integer
+
+
+def expected_backlog(model: FiniteSourceGeomGeomK, n_blocks: int) -> float:
+    """Stationary mean number of spikes waiting for a block, ``E[(theta-K)^+]``."""
+    K = check_integer(n_blocks, "n_blocks", minimum=0)
+    pi = model.stationary_distribution()
+    states = np.arange(pi.size)
+    excess = np.maximum(states - K, 0)
+    return float(excess @ pi)
+
+
+def waiting_probability(model: FiniteSourceGeomGeomK, n_blocks: int) -> float:
+    """Probability an interval has at least one spike waiting (= CVR)."""
+    return model.overflow_probability(n_blocks)
+
+
+def spike_arrival_rate(model: FiniteSourceGeomGeomK) -> float:
+    """Long-run spikes starting per interval: ``E[k - theta] * p_on``."""
+    return (model.k - model.expected_demand()) * model.p_on
+
+
+def mean_wait_littles_law(model: FiniteSourceGeomGeomK, n_blocks: int) -> float:
+    """Average intervals a spike spends waiting, by Little's law.
+
+    ``W = E[backlog] / lambda`` with lambda the spike arrival rate.  Averaged
+    over *all* spikes (most wait zero); condition on waiting by dividing by
+    the waiting probability if needed.
+    """
+    lam = spike_arrival_rate(model)
+    if lam <= 0.0:  # pragma: no cover - p_on > 0 guarantees lam > 0
+        return 0.0
+    return expected_backlog(model, n_blocks) / lam
+
+
+def degradation_profile(model: FiniteSourceGeomGeomK,
+                        max_blocks: int | None = None) -> list[dict[str, float]]:
+    """Waiting metrics for every candidate block count.
+
+    Returns one row per ``K`` in ``0..max_blocks`` (default ``k``) with keys
+    ``n_blocks``, ``p_wait``, ``mean_backlog``, ``mean_wait`` — the table an
+    operator scans to pick a reservation under a degradation SLA.
+    """
+    top = model.k if max_blocks is None else check_integer(
+        max_blocks, "max_blocks", minimum=0
+    )
+    rows = []
+    for K in range(top + 1):
+        rows.append({
+            "n_blocks": float(K),
+            "p_wait": waiting_probability(model, K),
+            "mean_backlog": expected_backlog(model, K),
+            "mean_wait": mean_wait_littles_law(model, K),
+        })
+    return rows

@@ -1,0 +1,60 @@
+"""Summary metrics over queue occupancy distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Moments and tail summaries of an occupancy distribution.
+
+    Attributes
+    ----------
+    mean_occupancy:
+        Expected number of busy windows.
+    variance:
+        Variance of the busy-window count.
+    utilization:
+        ``mean_occupancy / n_windows`` — average fraction of reserved
+        capacity in use (low utilization motivates cutting blocks).
+    full_probability:
+        Probability all windows are busy.
+    idle_probability:
+        Probability no window is busy.
+    """
+
+    mean_occupancy: float
+    variance: float
+    utilization: float
+    full_probability: float
+    idle_probability: float
+
+
+def summarize_occupancy(distribution: np.ndarray) -> QueueMetrics:
+    """Compute :class:`QueueMetrics` from an occupancy pmf over ``0..K``.
+
+    Parameters
+    ----------
+    distribution:
+        Probability vector of length ``K + 1``; must sum to ~1.
+    """
+    pi = np.asarray(distribution, dtype=float)
+    if pi.ndim != 1 or pi.size == 0:
+        raise ValueError(f"distribution must be a non-empty 1-D array, got shape {pi.shape}")
+    if np.any(pi < -1e-12) or not np.isclose(pi.sum(), 1.0, atol=1e-6):
+        raise ValueError("distribution must be non-negative and sum to 1")
+    K = pi.size - 1
+    states = np.arange(K + 1)
+    mean = float(states @ pi)
+    var = float((states - mean) ** 2 @ pi)
+    utilization = mean / K if K > 0 else 0.0
+    return QueueMetrics(
+        mean_occupancy=mean,
+        variance=var,
+        utilization=utilization,
+        full_probability=float(pi[-1]),
+        idle_probability=float(pi[0]),
+    )

@@ -1,0 +1,73 @@
+"""Discrete-time datacenter simulator.
+
+Stands in for the paper's Xen Cloud Platform testbed (see DESIGN.md,
+substitutions): VM demands evolve as ON-OFF chains each information-update
+interval (the paper's sigma = 30 s), local resizing tracks demand instantly,
+and a dynamic scheduler reacts to capacity overflow with live migration.
+
+- :mod:`repro.simulation.engine` — the interval clock and hook loop.
+- :mod:`repro.simulation.datacenter` — runtime PM/VM state and local resizing.
+- :mod:`repro.simulation.migration` — VM-selection and target-selection
+  policies plus the migration cost model (idle deception lives here).
+- :mod:`repro.simulation.scheduler` — the overflow-triggered migration loop.
+- :mod:`repro.simulation.energy` — linear PM power model.
+- :mod:`repro.simulation.monitor` — time series: migrations, PMs used, CVR.
+"""
+
+from repro.simulation.datacenter import Datacenter, PMRuntime, VMRuntime
+from repro.simulation.energy import EnergyModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.migration import (
+    MigrationEvent,
+    MigrationPolicy,
+    select_target_least_loaded,
+    select_target_most_free,
+    select_target_reservation_aware,
+    select_vm_largest_demand,
+    select_vm_min_sufficient,
+)
+from repro.simulation.monitor import Monitor, RunRecord
+from repro.simulation.scheduler import DynamicScheduler, SimulationResult, run_simulation
+from repro.simulation.arrivals import DynamicFleetRecord, DynamicFleetSimulator
+from repro.simulation.failures import FailureInjector, FailureRecord
+from repro.simulation.reconsolidation import ReconsolidationScheduler
+from repro.simulation.scenario import Scenario, ScenarioReport, compare_scenarios
+from repro.simulation.costmodel import (
+    CostedScheduler,
+    MigrationAccount,
+    MigrationCostModel,
+)
+from repro.simulation.triggers import OverflowTrigger, SlidingWindowCVRTrigger
+
+__all__ = [
+    "DynamicFleetRecord",
+    "DynamicFleetSimulator",
+    "FailureInjector",
+    "FailureRecord",
+    "ReconsolidationScheduler",
+    "Scenario",
+    "ScenarioReport",
+    "compare_scenarios",
+    "CostedScheduler",
+    "MigrationAccount",
+    "MigrationCostModel",
+    "OverflowTrigger",
+    "SlidingWindowCVRTrigger",
+    "Datacenter",
+    "PMRuntime",
+    "VMRuntime",
+    "EnergyModel",
+    "SimulationEngine",
+    "MigrationEvent",
+    "MigrationPolicy",
+    "select_target_least_loaded",
+    "select_target_most_free",
+    "select_target_reservation_aware",
+    "select_vm_largest_demand",
+    "select_vm_min_sufficient",
+    "Monitor",
+    "RunRecord",
+    "DynamicScheduler",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,156 @@
+"""Runtime state of the simulated datacenter.
+
+Each VM carries its spec and current ON/OFF state; *local resizing* is
+modelled as instantaneous (the paper: "local resizing adaptively adjusts VM
+configuration ... with neglectable time and resource overheads"), so a VM's
+allocation always equals its demand and a PM's load is the sum of hosted
+demands.  Capacity overflow (load > capacity) is what triggers the dynamic
+scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.types import Placement, PMSpec, VMSpec
+from repro.utils.rng import SeedLike, as_generator
+
+_EPS = 1e-9
+
+
+@dataclass
+class VMRuntime:
+    """A VM's live state: its spec and whether it is currently spiking."""
+
+    spec: VMSpec
+    on: bool = False
+
+    @property
+    def demand(self) -> float:
+        """Current resource demand (local resizing keeps allocation == demand)."""
+        return self.spec.demand(self.on)
+
+
+@dataclass
+class PMRuntime:
+    """A PM's live state: capacity and the set of hosted VM ids."""
+
+    spec: PMSpec
+    vm_ids: set[int] = field(default_factory=set)
+
+    @property
+    def is_used(self) -> bool:
+        """Whether the PM hosts at least one VM (i.e. is powered on)."""
+        return bool(self.vm_ids)
+
+
+class Datacenter:
+    """The fleet: VM runtimes, PM runtimes, and their evolving demands.
+
+    Parameters
+    ----------
+    vms, pms:
+        Problem instance.
+    placement:
+        Initial complete placement (from any placer).
+    seed:
+        RNG for the ON-OFF evolution.
+    start_stationary:
+        Draw initial ON/OFF states from each VM's stationary law; the paper
+        starts all VMs at OFF, which is the default here too.
+    """
+
+    def __init__(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec],
+                 placement: Placement, *, seed: SeedLike = None,
+                 start_stationary: bool = False):
+        if placement.n_vms != len(vms) or placement.n_pms != len(pms):
+            raise ValueError(
+                f"placement is for {placement.n_vms} VMs x {placement.n_pms} PMs "
+                f"but instance has {len(vms)} x {len(pms)}"
+            )
+        if not placement.all_placed:
+            raise ValueError("initial placement must place every VM")
+        self._rng = as_generator(seed)
+        self.vms = [VMRuntime(spec=v) for v in vms]
+        self.pms = [PMRuntime(spec=p) for p in pms]
+        self.placement = placement.copy()
+        for vm_id, pm_id in self.placement:
+            self.pms[pm_id].vm_ids.add(vm_id)
+        # Cache per-VM parameter arrays for the vectorized step.
+        self._p_on = np.array([v.p_on for v in vms])
+        self._p_off = np.array([v.p_off for v in vms])
+        self._r_base = np.array([v.r_base for v in vms])
+        self._r_extra = np.array([v.r_extra for v in vms])
+        self._on = np.zeros(len(vms), dtype=bool)
+        if start_stationary and len(vms):
+            q = self._p_on / (self._p_on + self._p_off)
+            self._on = self._rng.random(len(vms)) < q
+            for i, runtime in enumerate(self.vms):
+                runtime.on = bool(self._on[i])
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Advance every VM's ON-OFF chain by one interval (vectorized)."""
+        u = self._rng.random(len(self.vms))
+        self._on = np.where(self._on, u >= self._p_off, u < self._p_on)
+        for i, runtime in enumerate(self.vms):
+            runtime.on = bool(self._on[i])
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vms(self) -> int:
+        """Number of VMs."""
+        return len(self.vms)
+
+    @property
+    def n_pms(self) -> int:
+        """Number of PMs in the fleet (used or idle)."""
+        return len(self.pms)
+
+    def vm_demands(self) -> np.ndarray:
+        """Current demand of every VM (vectorized)."""
+        return self._r_base + self._r_extra * self._on
+
+    def pm_load(self, pm_id: int) -> float:
+        """Aggregate demand on PM ``pm_id``."""
+        demands = self.vm_demands()
+        return float(sum(demands[v] for v in self.pms[pm_id].vm_ids))
+
+    def pm_loads(self) -> np.ndarray:
+        """Aggregate demand of every PM (vectorized scatter-add)."""
+        loads = np.zeros(self.n_pms)
+        np.add.at(loads, self.placement.assignment, self.vm_demands())
+        return loads
+
+    def overloaded_pms(self) -> np.ndarray:
+        """PM indices whose load currently exceeds capacity."""
+        loads = self.pm_loads()
+        caps = np.array([p.spec.capacity for p in self.pms])
+        return np.flatnonzero(loads > caps + _EPS)
+
+    def used_pm_count(self) -> int:
+        """Number of powered-on (non-empty) PMs."""
+        return sum(1 for p in self.pms if p.is_used)
+
+    def pm_base_loads(self) -> np.ndarray:
+        """Aggregate *base* (OFF-state) demand per PM — spike-independent."""
+        loads = np.zeros(self.n_pms)
+        np.add.at(loads, self.placement.assignment, self._r_base)
+        return loads
+
+    # ------------------------------------------------------------------ #
+    # mutation (used by the scheduler)
+    # ------------------------------------------------------------------ #
+    def migrate(self, vm_id: int, target_pm: int) -> int:
+        """Move VM ``vm_id`` to ``target_pm``; returns the source PM."""
+        src = self.placement.migrate(vm_id, target_pm)
+        self.pms[src].vm_ids.discard(vm_id)
+        self.pms[target_pm].vm_ids.add(vm_id)
+        return src

@@ -1,0 +1,150 @@
+"""Failure injection: PM crashes and recovery.
+
+Consolidation density interacts with fault tolerance: the tighter the
+packing, the more VMs a single PM failure strands and the harder the
+emergency evacuation.  This module injects PM failures into a run:
+
+- each interval, every powered-on PM fails independently with
+  ``failure_probability``;
+- a failed PM's VMs must be *evacuated* — re-placed immediately on healthy
+  PMs by first fit over current demand; VMs that fit nowhere are counted as
+  ``stranded`` for that interval (they retry next interval);
+- a failed PM recovers after a geometric repair time and rejoins the pool.
+
+:class:`FailureInjector` plugs into the engine alongside the scheduler; the
+`evacuations` / `stranded_vm_intervals` counters quantify the resilience
+cost of each packing strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.datacenter import Datacenter
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+_EPS = 1e-9
+
+
+@dataclass
+class FailureRecord:
+    """Counters accumulated by a :class:`FailureInjector`."""
+
+    failures: int = 0
+    recoveries: int = 0
+    evacuations: int = 0
+    stranded_vm_intervals: int = 0
+    failed_intervals: int = 0  # PM-intervals spent down
+
+
+class FailureInjector:
+    """Random PM failures with evacuation and repair.
+
+    Parameters
+    ----------
+    dc:
+        The datacenter under test.
+    failure_probability:
+        Per-interval, per-powered-on-PM crash probability.
+    repair_probability:
+        Per-interval probability a failed PM comes back.
+    seed:
+        RNG seed material.
+
+    Notes
+    -----
+    A failed PM is modelled by excluding it from target selection and
+    evacuating its VMs; VMs still assigned to a failed PM (evacuation
+    impossible) are "stranded" — their demand is *not* served, which is the
+    availability cost being measured.
+    """
+
+    def __init__(self, dc: Datacenter, *, failure_probability: float = 0.002,
+                 repair_probability: float = 0.1, seed: SeedLike = None):
+        self.dc = dc
+        self.failure_probability = check_probability(
+            failure_probability, "failure_probability"
+        )
+        self.repair_probability = check_probability(
+            repair_probability, "repair_probability"
+        )
+        self._rng = as_generator(seed)
+        self.failed = np.zeros(dc.n_pms, dtype=bool)
+        self.record = FailureRecord()
+        self._stranded: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def _evacuate(self, pm_id: int) -> None:
+        """First-fit the failed PM's VMs onto healthy PMs (by current demand)."""
+        vm_ids = sorted(self.dc.pms[pm_id].vm_ids)
+        demands = self.dc.vm_demands()
+        caps = np.array([p.spec.capacity for p in self.dc.pms])
+        loads = self.dc.pm_loads()
+        for vm_id in vm_ids:
+            placed = False
+            for cand in np.argsort(loads):
+                cand = int(cand)
+                if cand == pm_id or self.failed[cand]:
+                    continue
+                if loads[cand] + demands[vm_id] <= caps[cand] + _EPS:
+                    self.dc.migrate(vm_id, cand)
+                    loads[cand] += demands[vm_id]
+                    loads[pm_id] -= demands[vm_id]
+                    self.record.evacuations += 1
+                    placed = True
+                    break
+            if not placed:
+                self._stranded.add(vm_id)
+
+    def _retry_stranded(self) -> None:
+        if not self._stranded:
+            return
+        demands = self.dc.vm_demands()
+        caps = np.array([p.spec.capacity for p in self.dc.pms])
+        loads = self.dc.pm_loads()
+        for vm_id in sorted(self._stranded):
+            src = self.dc.placement.pm_of(vm_id)
+            if not self.failed[src]:
+                self._stranded.discard(vm_id)  # host recovered under it
+                continue
+            for cand in np.argsort(loads):
+                cand = int(cand)
+                if self.failed[cand] or cand == src:
+                    continue
+                if loads[cand] + demands[vm_id] <= caps[cand] + _EPS:
+                    self.dc.migrate(vm_id, cand)
+                    loads[cand] += demands[vm_id]
+                    self.record.evacuations += 1
+                    self._stranded.discard(vm_id)
+                    break
+
+    # ------------------------------------------------------------------ #
+    def step(self, time: int) -> None:
+        """Advance failures/repairs one interval (engine hook)."""
+        # repairs first, so a PM down this interval stays down a full step
+        recovering = self.failed & (self._rng.random(self.dc.n_pms)
+                                    < self.repair_probability)
+        self.failed[recovering] = False
+        self.record.recoveries += int(recovering.sum())
+
+        powered = np.array([p.is_used for p in self.dc.pms])
+        crashing = (~self.failed & powered
+                    & (self._rng.random(self.dc.n_pms)
+                       < self.failure_probability))
+        for pm_id in np.flatnonzero(crashing):
+            pm_id = int(pm_id)
+            self.failed[pm_id] = True
+            self.record.failures += 1
+            self._evacuate(pm_id)
+
+        self._retry_stranded()
+        self.record.stranded_vm_intervals += len(self._stranded)
+        self.record.failed_intervals += int(self.failed.sum())
+
+    @property
+    def stranded_vms(self) -> set[int]:
+        """VMs currently without a healthy host."""
+        return set(self._stranded)

@@ -1,0 +1,187 @@
+"""Live-migration policies and cost model.
+
+When a PM's aggregate demand exceeds its capacity (local resizing cannot
+absorb the spike), the dynamic scheduler must (1) pick a VM to evict and
+(2) pick a target PM.  The paper's observations — *idle deception* (a busy PM
+looks idle because its VMs are momentarily OFF) and the resulting *cycle
+migration* — are consequences of target selection based on **observed** load.
+The policies here make that explicit:
+
+- :func:`select_target_least_loaded` — the burstiness-*unaware* policy the
+  paper's testbed effectively uses: prefer the used PM with the lowest
+  observed load that can currently fit the VM; power on an idle PM only as a
+  last resort (to save energy).  Under dense RB packing this falls for idle
+  deception and produces cycle migration.
+- :func:`select_target_most_free` — same but ranked by absolute free room.
+- :func:`select_target_reservation_aware` — a burstiness-aware variant that
+  admits by base demand plus the target's reservation commitment (Eq. 17
+  style); included for the ablation on scheduler awareness.
+
+Each migration carries a cost: the moved VM's demand is charged on *both*
+PMs for ``overhead_intervals`` intervals (the paper: "significant downtime
+... also incurs noticeable CPU usage on the host PM"); the monitor counts
+events regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+from repro.simulation.datacenter import Datacenter
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One live migration: which VM moved where and when."""
+
+    time: int
+    vm_id: int
+    source_pm: int
+    target_pm: int
+
+
+class MigrationPolicy(Protocol):
+    """Callable bundle the scheduler needs: VM picker and target picker."""
+
+    def pick_vm(self, dc: Datacenter, pm_id: int) -> int: ...
+
+    def pick_target(self, dc: Datacenter, vm_id: int, source_pm: int) -> Optional[int]: ...
+
+
+# --------------------------------------------------------------------- #
+# VM selection
+# --------------------------------------------------------------------- #
+def select_vm_largest_demand(dc: Datacenter, pm_id: int) -> int:
+    """Evict the hosted VM with the largest current demand.
+
+    Moving the biggest contributor relieves the overflow fastest and is the
+    natural choice when the spike itself caused the overflow.
+    """
+    vm_ids = dc.pms[pm_id].vm_ids
+    if not vm_ids:
+        raise ValueError(f"PM {pm_id} hosts no VMs")
+    demands = dc.vm_demands()
+    return max(vm_ids, key=lambda v: (demands[v], -v))
+
+
+def select_vm_min_sufficient(dc: Datacenter, pm_id: int) -> int:
+    """Evict the smallest VM whose departure clears the overflow.
+
+    Minimizes moved bytes; falls back to the largest-demand VM when no
+    single migration can clear the overflow.
+    """
+    pm = dc.pms[pm_id]
+    if not pm.vm_ids:
+        raise ValueError(f"PM {pm_id} hosts no VMs")
+    demands = dc.vm_demands()
+    load = dc.pm_load(pm_id)
+    excess = load - pm.spec.capacity
+    sufficient = [v for v in pm.vm_ids if demands[v] >= excess - _EPS]
+    if not sufficient:
+        return select_vm_largest_demand(dc, pm_id)
+    return min(sufficient, key=lambda v: (demands[v], v))
+
+
+# --------------------------------------------------------------------- #
+# target selection
+# --------------------------------------------------------------------- #
+def _feasible_mask(dc: Datacenter, vm_id: int, source_pm: int) -> np.ndarray:
+    """PMs (other than the source) that can fit the VM's current demand."""
+    loads = dc.pm_loads()
+    caps = np.array([p.spec.capacity for p in dc.pms])
+    demand = dc.vm_demands()[vm_id]
+    ok = loads + demand <= caps + _EPS
+    ok[source_pm] = False
+    return ok
+
+
+def select_target_least_loaded(dc: Datacenter, vm_id: int,
+                               source_pm: int) -> Optional[int]:
+    """Burstiness-unaware target choice (observed load; idle-deception prone).
+
+    Prefers the *used* PM with the lowest observed load that fits the VM now;
+    powers on an idle PM only if no used PM fits.  Returns None when nothing
+    fits anywhere.
+    """
+    ok = _feasible_mask(dc, vm_id, source_pm)
+    loads = dc.pm_loads()
+    used = np.array([p.is_used for p in dc.pms])
+    used_candidates = np.flatnonzero(ok & used)
+    if used_candidates.size:
+        return int(used_candidates[np.argmin(loads[used_candidates])])
+    idle_candidates = np.flatnonzero(ok & ~used)
+    if idle_candidates.size:
+        return int(idle_candidates[0])
+    return None
+
+
+def select_target_most_free(dc: Datacenter, vm_id: int,
+                            source_pm: int) -> Optional[int]:
+    """Variant ranking used PMs by absolute free room instead of load."""
+    ok = _feasible_mask(dc, vm_id, source_pm)
+    loads = dc.pm_loads()
+    caps = np.array([p.spec.capacity for p in dc.pms])
+    used = np.array([p.is_used for p in dc.pms])
+    used_candidates = np.flatnonzero(ok & used)
+    if used_candidates.size:
+        free = caps[used_candidates] - loads[used_candidates]
+        return int(used_candidates[np.argmax(free)])
+    idle_candidates = np.flatnonzero(ok & ~used)
+    if idle_candidates.size:
+        return int(idle_candidates[0])
+    return None
+
+
+def select_target_reservation_aware(
+    dc: Datacenter, vm_id: int, source_pm: int, *,
+    headroom_fraction: float = 0.3,
+) -> Optional[int]:
+    """Burstiness-aware target choice for the scheduler-awareness ablation.
+
+    Admits by *base* load plus a headroom margin: the target must fit the
+    VM's base demand while keeping ``headroom_fraction`` of its capacity
+    clear of aggregate base load.  This resists idle deception (base load
+    does not fluctuate with spikes) at the price of opening idle PMs sooner.
+    """
+    base_loads = dc.pm_base_loads()
+    caps = np.array([p.spec.capacity for p in dc.pms])
+    demand_now = dc.vm_demands()[vm_id]
+    base_vm = dc.vms[vm_id].spec.r_base
+    loads = dc.pm_loads()
+    ok = (
+        (base_loads + base_vm <= caps * (1.0 - headroom_fraction) + _EPS)
+        & (loads + demand_now <= caps + _EPS)
+    )
+    ok[source_pm] = False
+    used = np.array([p.is_used for p in dc.pms])
+    used_candidates = np.flatnonzero(ok & used)
+    if used_candidates.size:
+        return int(used_candidates[np.argmin(base_loads[used_candidates])])
+    idle_candidates = np.flatnonzero(ok & ~used)
+    if idle_candidates.size:
+        return int(idle_candidates[0])
+    return None
+
+
+@dataclass
+class StandardPolicy:
+    """Default policy bundle: configurable VM picker + target picker."""
+
+    pick_vm_fn: Callable[[Datacenter, int], int] = select_vm_largest_demand
+    pick_target_fn: Callable[[Datacenter, int, int], Optional[int]] = (
+        select_target_least_loaded
+    )
+
+    def pick_vm(self, dc: Datacenter, pm_id: int) -> int:
+        """Choose which VM to evict from the overloaded PM."""
+        return self.pick_vm_fn(dc, pm_id)
+
+    def pick_target(self, dc: Datacenter, vm_id: int,
+                    source_pm: int) -> Optional[int]:
+        """Choose the destination PM (None if the VM fits nowhere)."""
+        return self.pick_target_fn(dc, vm_id, source_pm)

@@ -1,0 +1,145 @@
+"""Measurement plane of the simulator.
+
+Records per-interval observations and derives the paper's evaluation
+metrics:
+
+- total migrations and final PMs used (Fig. 9's two bars);
+- the cumulative-migration time series (Fig. 10);
+- per-PM empirical CVR over the run (Fig. 6's measurement, Eq. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.datacenter import Datacenter
+from repro.simulation.migration import MigrationEvent
+
+_EPS = 1e-9
+
+
+@dataclass
+class RunRecord:
+    """Immutable summary of one simulation run."""
+
+    n_intervals: int
+    migrations: list[MigrationEvent]
+    pms_used_series: np.ndarray
+    migrations_per_interval: np.ndarray
+    violation_counts: np.ndarray
+    presence_counts: np.ndarray
+    #: per-VM count of intervals spent on a violated PM (fairness view);
+    #: empty when the monitor was built without VM tracking
+    vm_suffering_counts: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def total_migrations(self) -> int:
+        """Total live migrations over the run."""
+        return len(self.migrations)
+
+    @property
+    def final_pms_used(self) -> int:
+        """PMs powered on at the end of the evaluation period."""
+        return int(self.pms_used_series[-1]) if self.pms_used_series.size else 0
+
+    @property
+    def cumulative_migrations(self) -> np.ndarray:
+        """Running total of migrations after each interval (Fig. 10)."""
+        return np.cumsum(self.migrations_per_interval)
+
+    def vm_suffering_fraction(self) -> np.ndarray:
+        """Per-VM fraction of intervals spent on a violated PM.
+
+        The fairness complement of the PM-level CVR: two placements with
+        equal PM CVRs can concentrate the pain on very different VM subsets.
+        Empty array when VM tracking was off.
+        """
+        if self.vm_suffering_counts.size == 0 or self.n_intervals == 0:
+            return self.vm_suffering_counts.astype(float)
+        return self.vm_suffering_counts / self.n_intervals
+
+    def cvr_per_pm(self) -> np.ndarray:
+        """Empirical CVR of each PM over the intervals it hosted VMs.
+
+        A PM that never hosted anything reports 0.  The denominator is the
+        number of intervals the PM was powered on, matching the paper's
+        per-PM time fraction.
+        """
+        with np.errstate(invalid="ignore", divide="ignore"):
+            cvr = np.where(
+                self.presence_counts > 0,
+                self.violation_counts / np.maximum(self.presence_counts, 1),
+                0.0,
+            )
+        return cvr
+
+
+class Monitor:
+    """Collects observations each interval; produces a :class:`RunRecord`.
+
+    Parameters
+    ----------
+    n_pms:
+        Fleet size.
+    n_vms:
+        If given, also attribute violations to the VMs hosted on the
+        violating PM each interval (per-VM suffering counters).
+    """
+
+    def __init__(self, n_pms: int, *, n_vms: int | None = None):
+        if n_pms <= 0:
+            raise ValueError(f"n_pms must be >= 1, got {n_pms}")
+        self._n_pms = n_pms
+        self._pms_used: list[int] = []
+        self._migrations_per_interval: list[int] = []
+        self._events: list[MigrationEvent] = []
+        self._violations = np.zeros(n_pms, dtype=np.int64)
+        self._presence = np.zeros(n_pms, dtype=np.int64)
+        if n_vms is not None and n_vms < 0:
+            raise ValueError(f"n_vms must be >= 0, got {n_vms}")
+        self._vm_suffering = (
+            np.zeros(n_vms, dtype=np.int64) if n_vms is not None else None
+        )
+
+    def record_interval(self, dc: Datacenter, migrations: list[MigrationEvent]) -> None:
+        """Record one interval's end-state and the migrations it triggered."""
+        if dc.n_pms != self._n_pms:
+            raise ValueError(
+                f"datacenter has {dc.n_pms} PMs but monitor was built for {self._n_pms}"
+            )
+        loads = dc.pm_loads()
+        caps = np.array([p.spec.capacity for p in dc.pms])
+        used = np.array([p.is_used for p in dc.pms])
+        violated = loads > caps + _EPS
+        self._violations += violated.astype(np.int64)
+        self._presence += used.astype(np.int64)
+        self._pms_used.append(int(used.sum()))
+        self._migrations_per_interval.append(len(migrations))
+        self._events.extend(migrations)
+        if self._vm_suffering is not None:
+            if dc.n_vms != self._vm_suffering.size:
+                raise ValueError(
+                    f"datacenter has {dc.n_vms} VMs but monitor tracks "
+                    f"{self._vm_suffering.size}"
+                )
+            self._vm_suffering += violated[dc.placement.assignment]
+
+    def finalize(self) -> RunRecord:
+        """Produce the run summary."""
+        return RunRecord(
+            n_intervals=len(self._pms_used),
+            migrations=list(self._events),
+            pms_used_series=np.array(self._pms_used, dtype=np.int64),
+            migrations_per_interval=np.array(self._migrations_per_interval,
+                                             dtype=np.int64),
+            violation_counts=self._violations.copy(),
+            presence_counts=self._presence.copy(),
+            vm_suffering_counts=(
+                self._vm_suffering.copy() if self._vm_suffering is not None
+                else np.empty(0, dtype=np.int64)
+            ),
+        )

@@ -1,0 +1,90 @@
+"""Periodic re-consolidation at runtime.
+
+The paper consolidates once and then reacts with migrations.  A natural
+operational extension is to *re-run* the consolidation every ``period``
+intervals and migrate the diff: drift accumulated by reactive migrations is
+squeezed back out, at the price of a burst of planned migrations.
+
+:class:`ReconsolidationScheduler` wraps the reactive scheduler; every
+``period`` intervals it recomputes a QueuingFFD placement for the current
+fleet and executes the moves whose source and target differ.  The
+``max_planned_moves`` knob caps each burst so planned churn stays bounded
+(moves are executed in decreasing demand-relief order).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.types import VMSpec
+from repro.simulation.datacenter import Datacenter
+from repro.simulation.migration import MigrationEvent, MigrationPolicy
+from repro.simulation.scheduler import DynamicScheduler
+from repro.utils.validation import check_integer
+
+
+class ReconsolidationScheduler(DynamicScheduler):
+    """Reactive scheduler plus periodic global re-consolidation.
+
+    Parameters
+    ----------
+    dc:
+        The datacenter.
+    placer:
+        Consolidation algorithm used for each re-plan (defaults to the
+        paper's QueuingFFD with its defaults).
+    period:
+        Re-plan every this many intervals (first re-plan at ``t = period``).
+    max_planned_moves:
+        Per-re-plan cap on executed moves.
+    policy, max_migrations_per_interval:
+        Passed through to the reactive layer.
+    """
+
+    def __init__(self, dc: Datacenter, *, placer: QueuingFFD | None = None,
+                 period: int = 50, max_planned_moves: int = 10**9,
+                 policy: MigrationPolicy | None = None,
+                 max_migrations_per_interval: int = 1000):
+        super().__init__(dc, policy,
+                         max_migrations_per_interval=max_migrations_per_interval)
+        self.placer = placer if placer is not None else QueuingFFD()
+        self.period = check_integer(period, "period", minimum=1)
+        self.max_planned_moves = check_integer(
+            max_planned_moves, "max_planned_moves", minimum=0
+        )
+        self.planned_migrations = 0
+
+    def _replan(self, time: int) -> list[MigrationEvent]:
+        vms: Sequence[VMSpec] = [v.spec for v in self.dc.vms]
+        pms = [p.spec for p in self.dc.pms]
+        target = self.placer.place(vms, pms)
+        moves = [
+            (vm_id, int(target.assignment[vm_id]))
+            for vm_id in range(len(vms))
+            if target.assignment[vm_id] != self.dc.placement.assignment[vm_id]
+        ]
+        # Execute biggest base-demand movers first — they relieve the most
+        # committed capacity if the burst is capped.
+        moves.sort(key=lambda m: -vms[m[0]].r_base)
+        events = []
+        for vm_id, target_pm in moves[: self.max_planned_moves]:
+            src = self.dc.migrate(vm_id, target_pm)
+            events.append(MigrationEvent(time=time, vm_id=vm_id,
+                                         source_pm=src, target_pm=target_pm))
+        self.planned_migrations += len(events)
+        return events
+
+    def resolve_overloads(self, time: int) -> list[MigrationEvent]:
+        """Reactive resolution, plus a global re-plan on period boundaries."""
+        events: list[MigrationEvent] = []
+        if time > 0 and time % self.period == 0:
+            events.extend(self._replan(time))
+        events.extend(super().resolve_overloads(time))
+        return events
+
+    def reactive_migrations(self, total: int) -> int:
+        """Split helper: reactive = total - planned."""
+        return total - self.planned_migrations

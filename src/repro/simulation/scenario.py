@@ -1,0 +1,219 @@
+"""High-level scenario builder: one object, the whole simulation stack.
+
+The lower-level pieces (placer, trigger, migration policy, cost model,
+failure injection, energy model, monitoring) compose manually via the
+engine; :class:`Scenario` wires them for the common case so a downstream
+user writes:
+
+    report = Scenario(vms, pms, placer=QueuingFFD(rho=0.01, d=16),
+                      failures=True).run(n_intervals=100, seed=7)
+
+and gets a :class:`ScenarioReport` with every metric the package knows how
+to produce — placement footprint, migrations (priced if a cost model is
+present), CVR and per-VM fairness, failure/evacuation counters, and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.analysis.fairness import fairness_report
+from repro.core.types import Placement, PMSpec, VMSpec
+from repro.placement.base import Placer
+from repro.simulation.costmodel import CostedScheduler, MigrationCostModel
+from repro.simulation.datacenter import Datacenter
+from repro.simulation.energy import EnergyModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.failures import FailureInjector, FailureRecord
+from repro.simulation.migration import MigrationPolicy
+from repro.simulation.monitor import Monitor, RunRecord
+from repro.simulation.scheduler import DynamicScheduler
+from repro.simulation.triggers import MigrationTrigger
+from repro.utils.rng import SeedLike, spawn_children
+from repro.utils.validation import check_integer, check_probability
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run produced."""
+
+    record: RunRecord
+    initial_pms_used: int
+    final_pms_used: int
+    total_migrations: int
+    mean_cvr: float
+    max_cvr: float
+    fairness: dict[str, float]
+    energy_joules: float | None = None
+    migration_downtime_seconds: float | None = None
+    failures: FailureRecord | None = None
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"PMs: {self.initial_pms_used} initial -> {self.final_pms_used} final",
+            f"migrations: {self.total_migrations}"
+            + (f" ({self.migration_downtime_seconds:.1f}s downtime)"
+               if self.migration_downtime_seconds is not None else ""),
+            f"CVR: mean {self.mean_cvr:.4f}, max {self.max_cvr:.4f}",
+            f"suffering fairness: Jain {self.fairness['jain']:.2f}, "
+            f"max share {self.fairness['max_share']:.2f}",
+        ]
+        if self.energy_joules is not None:
+            lines.append(f"energy: {self.energy_joules / 3.6e6:.2f} kWh")
+        if self.failures is not None:
+            lines.append(
+                f"failures: {self.failures.failures} crashes, "
+                f"{self.failures.evacuations} evacuations, "
+                f"{self.failures.stranded_vm_intervals} stranded VM-intervals"
+            )
+        return "\n".join(lines)
+
+
+class Scenario:
+    """A configured end-to-end simulation.
+
+    Parameters
+    ----------
+    vms, pms:
+        The problem instance.
+    placer:
+        Consolidation strategy; any :class:`~repro.placement.base.Placer`.
+    policy, trigger:
+        Optional scheduler knobs (defaults as in
+        :class:`~repro.simulation.scheduler.DynamicScheduler`).
+    cost_model:
+        If given, migrations are priced (uses
+        :class:`~repro.simulation.costmodel.CostedScheduler`).
+    failures:
+        ``True`` for default crash injection, or a dict of
+        :class:`~repro.simulation.failures.FailureInjector` kwargs
+        (``failure_probability``, ``repair_probability``).
+    energy_model:
+        If given, the report includes an energy estimate.
+    interval_seconds:
+        Interval length (energy accounting only).
+    start_stationary:
+        Draw initial ON/OFF states from the stationary law.
+    """
+
+    def __init__(
+        self,
+        vms: Sequence[VMSpec],
+        pms: Sequence[PMSpec],
+        *,
+        placer: Placer,
+        policy: MigrationPolicy | None = None,
+        trigger: MigrationTrigger | None = None,
+        cost_model: MigrationCostModel | None = None,
+        failures: bool | dict[str, Any] = False,
+        energy_model: EnergyModel | None = None,
+        interval_seconds: float = 30.0,
+        start_stationary: bool = False,
+    ):
+        if not vms or not pms:
+            raise ValueError("need at least one VM and one PM")
+        self.vms = list(vms)
+        self.pms = list(pms)
+        self.placer = placer
+        self.policy = policy
+        self.trigger = trigger
+        self.cost_model = cost_model
+        self.failure_kwargs: dict[str, Any] | None
+        if failures is True:
+            self.failure_kwargs = {}
+        elif failures:
+            self.failure_kwargs = dict(failures)
+        else:
+            self.failure_kwargs = None
+        self.energy_model = energy_model
+        self.interval_seconds = interval_seconds
+        self.start_stationary = start_stationary
+
+    def run(self, n_intervals: int = 100, *, seed: SeedLike = None) -> ScenarioReport:
+        """Place the fleet and simulate ``n_intervals``."""
+        n_intervals = check_integer(n_intervals, "n_intervals", minimum=1)
+        rng_dc, rng_fail = spawn_children(seed, 2)
+        placement = self.placer.place(self.vms, self.pms)
+        dc = Datacenter(self.vms, self.pms, placement, seed=rng_dc,
+                        start_stationary=self.start_stationary)
+        if self.cost_model is not None:
+            scheduler: DynamicScheduler = CostedScheduler(
+                dc, self.policy, cost_model=self.cost_model
+            )
+            if self.trigger is not None:
+                scheduler.trigger = self.trigger
+        else:
+            scheduler = DynamicScheduler(dc, self.policy, trigger=self.trigger)
+        injector = (
+            FailureInjector(dc, seed=rng_fail, **self.failure_kwargs)
+            if self.failure_kwargs is not None else None
+        )
+        monitor = Monitor(dc.n_pms, n_vms=dc.n_vms)
+        engine = SimulationEngine()
+        energy_total = 0.0
+
+        def tick(t: int) -> None:
+            nonlocal energy_total
+            dc.step()
+            if injector is not None:
+                injector.step(t)
+            events = scheduler.resolve_overloads(t)
+            monitor.record_interval(dc, events)
+            if self.energy_model is not None:
+                loads = dc.pm_loads()
+                caps = np.array([p.spec.capacity for p in dc.pms])
+                on = np.array([p.is_used for p in dc.pms])
+                energy_total += self.energy_model.fleet_power(
+                    loads, caps, on
+                ) * self.interval_seconds
+
+        engine.add_hook("tick", tick)
+        initial_used = dc.used_pm_count()
+        engine.run(n_intervals)
+        record = monitor.finalize()
+
+        cvr = record.cvr_per_pm()
+        used_mask = record.presence_counts > 0
+        used_cvr = cvr[used_mask]
+        return ScenarioReport(
+            record=record,
+            initial_pms_used=initial_used,
+            final_pms_used=record.final_pms_used,
+            total_migrations=record.total_migrations,
+            mean_cvr=float(used_cvr.mean()) if used_cvr.size else 0.0,
+            max_cvr=float(used_cvr.max()) if used_cvr.size else 0.0,
+            fairness=fairness_report(record.vm_suffering_fraction()),
+            energy_joules=(energy_total if self.energy_model is not None
+                           else None),
+            migration_downtime_seconds=(
+                scheduler.account.total_downtime_seconds
+                if isinstance(scheduler, CostedScheduler) else None
+            ),
+            failures=injector.record if injector is not None else None,
+        )
+
+
+def compare_scenarios(
+    vms: Sequence[VMSpec],
+    pms: Sequence[PMSpec],
+    placers: dict[str, Placer],
+    *,
+    n_intervals: int = 100,
+    seed: SeedLike = None,
+    **scenario_kwargs: Any,
+) -> dict[str, ScenarioReport]:
+    """Run the same instance + randomness under several strategies.
+
+    All strategies share one workload stream (same seed), so differences
+    are attributable to the placement alone.
+    """
+    return {
+        name: Scenario(vms, pms, placer=placer, **scenario_kwargs).run(
+            n_intervals, seed=seed
+        )
+        for name, placer in placers.items()
+    }

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG plumbing, argument validation, table rendering."""
+
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.validation import (
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_integer,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "as_generator",
+    "spawn_children",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+    "format_table",
+]

@@ -1,0 +1,108 @@
+"""Persistence for problem instances and traces.
+
+Experiments become shareable when their inputs are files:
+
+- **instances** (VM + PM specs) round-trip through JSON
+  (:func:`save_instance` / :func:`load_instance`);
+- **demand traces** round-trip through CSV with a one-line header
+  (:func:`save_traces` / :func:`load_traces`), one row per VM — the format
+  monitoring exporters typically emit, and what
+  :func:`repro.workload.estimation.fit_fleet` consumes;
+- **placements** round-trip through JSON including the instance dimensions
+  so a loaded placement can be validated against its instance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Placement, PMSpec, VMSpec
+
+_FORMAT_VERSION = 1
+
+
+def save_instance(path: str | Path, vms: Sequence[VMSpec],
+                  pms: Sequence[PMSpec]) -> None:
+    """Write an instance as JSON (schema versioned for forward-compat)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "vms": [
+            {"p_on": v.p_on, "p_off": v.p_off,
+             "r_base": v.r_base, "r_extra": v.r_extra}
+            for v in vms
+        ],
+        "pms": [{"capacity": p.capacity} for p in pms],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_instance(path: str | Path) -> tuple[list[VMSpec], list[PMSpec]]:
+    """Read an instance written by :func:`save_instance`.
+
+    Raises
+    ------
+    ValueError
+        On a missing/unsupported format version or malformed entries (the
+        :class:`VMSpec`/:class:`PMSpec` constructors validate the values).
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported instance format version {version!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    try:
+        vms = [VMSpec(**entry) for entry in payload["vms"]]
+        pms = [PMSpec(**entry) for entry in payload["pms"]]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed instance file {path}: {exc}") from exc
+    return vms, pms
+
+
+def save_traces(path: str | Path, traces: np.ndarray) -> None:
+    """Write an ``(n_vms, T)`` demand matrix as CSV (one row per VM)."""
+    m = np.asarray(traces, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"traces must be 2-D (n_vms, T), got shape {m.shape}")
+    header = f"repro-traces v{_FORMAT_VERSION} n_vms={m.shape[0]} T={m.shape[1]}"
+    np.savetxt(Path(path), m, delimiter=",", header=header, fmt="%.10g")
+
+
+def load_traces(path: str | Path) -> np.ndarray:
+    """Read a trace matrix written by :func:`save_traces`.
+
+    A single-VM file loads back as shape ``(1, T)``.
+    """
+    first = Path(path).read_text().splitlines()[:1]
+    if not first or not first[0].lstrip("# ").startswith("repro-traces"):
+        raise ValueError(f"{path} is not a repro trace file")
+    m = np.loadtxt(Path(path), delimiter=",", ndmin=2)
+    return m
+
+
+def save_placement(path: str | Path, placement: Placement) -> None:
+    """Write a placement (assignment + dimensions) as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "n_vms": placement.n_vms,
+        "n_pms": placement.n_pms,
+        "assignment": placement.assignment.tolist(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_placement(path: str | Path) -> Placement:
+    """Read a placement written by :func:`save_placement` (validated)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported placement format in {path}")
+    return Placement(
+        n_vms=payload["n_vms"],
+        n_pms=payload["n_pms"],
+        assignment=np.array(payload["assignment"], dtype=np.int64),
+    )

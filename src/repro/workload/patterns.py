@@ -1,0 +1,182 @@
+"""Problem-instance generators matching the paper's experiment settings.
+
+Two families:
+
+1. **Random-range patterns** (Fig. 5/6): ``R_b`` and ``R_e`` drawn uniformly
+   from pattern-specific ranges, PM capacity uniform in [80, 100]:
+
+   - ``"equal"``  (R_b = R_e pattern):   R_b, R_e ~ U[2, 20]
+   - ``"small"``  (R_b > R_e pattern):   R_b ~ U[12, 20], R_e ~ U[2, 10]
+   - ``"large"``  (R_b < R_e pattern):   R_b ~ U[2, 10],  R_e ~ U[12, 20]
+
+   (names refer to the *spike size*, as the paper phrases the patterns).
+
+2. **Table I web-server specs** (Fig. 9): ``R_b``/``R_e`` classified as
+   small/medium/large, accommodating 400/800/1600 users respectively; the
+   table's seven rows combine them per workload pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.types import PMSpec, VMSpec
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer
+
+PatternName = Literal["equal", "small", "large"]
+
+#: default switch probabilities used throughout the paper's evaluation
+DEFAULT_P_ON = 0.01
+DEFAULT_P_OFF = 0.09
+
+#: R_b / R_e uniform ranges per pattern (paper Fig. 5 caption)
+PATTERN_RANGES: dict[str, tuple[tuple[float, float], tuple[float, float]]] = {
+    "equal": ((2.0, 20.0), (2.0, 20.0)),   # R_b = R_e (normal spikes)
+    "small": ((12.0, 20.0), (2.0, 10.0)),  # R_b > R_e (small spikes)
+    "large": ((2.0, 10.0), (12.0, 20.0)),  # R_b < R_e (large spikes)
+}
+
+#: PM capacity range (paper Fig. 5 caption)
+PM_CAPACITY_RANGE = (80.0, 100.0)
+
+#: users accommodated per size class (paper Section V-D)
+USERS_PER_CLASS = {"small": 400, "medium": 800, "large": 1600}
+
+
+def generate_pattern_instance(
+    pattern: PatternName,
+    n_vms: int,
+    *,
+    p_on: float = DEFAULT_P_ON,
+    p_off: float = DEFAULT_P_OFF,
+    capacity_range: tuple[float, float] = PM_CAPACITY_RANGE,
+    n_pms: int | None = None,
+    seed: SeedLike = None,
+) -> tuple[list[VMSpec], list[PMSpec]]:
+    """Random problem instance for one of the paper's three patterns.
+
+    Parameters
+    ----------
+    pattern:
+        ``"equal"`` / ``"small"`` / ``"large"`` spike-size pattern.
+    n_vms:
+        Number of VMs.
+    p_on, p_off:
+        Switch probabilities (paper default 0.01 / 0.09).
+    capacity_range:
+        Uniform range for PM capacities.
+    n_pms:
+        Fleet size; defaults to ``n_vms`` (enough for any strategy, since
+        every VM fits alone on any PM in the paper's ranges).
+    seed:
+        RNG seed material.
+
+    Returns
+    -------
+    tuple
+        ``(vms, pms)`` lists.
+    """
+    if pattern not in PATTERN_RANGES:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; expected one of {sorted(PATTERN_RANGES)}"
+        )
+    n_vms = check_integer(n_vms, "n_vms", minimum=1)
+    rng = as_generator(seed)
+    (b_lo, b_hi), (e_lo, e_hi) = PATTERN_RANGES[pattern]
+    r_base = rng.uniform(b_lo, b_hi, size=n_vms)
+    r_extra = rng.uniform(e_lo, e_hi, size=n_vms)
+    vms = [
+        VMSpec(p_on=p_on, p_off=p_off, r_base=float(b), r_extra=float(e))
+        for b, e in zip(r_base, r_extra)
+    ]
+    m = n_vms if n_pms is None else check_integer(n_pms, "n_pms", minimum=1)
+    lo, hi = capacity_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"invalid capacity range {capacity_range!r}")
+    pms = [PMSpec(capacity=float(c)) for c in rng.uniform(lo, hi, size=m)]
+    return vms, pms
+
+
+def make_pms(n_pms: int, *, capacity_range: tuple[float, float] = PM_CAPACITY_RANGE,
+             seed: SeedLike = None) -> list[PMSpec]:
+    """A fleet of ``n_pms`` PMs with uniform-random capacities."""
+    n_pms = check_integer(n_pms, "n_pms", minimum=1)
+    lo, hi = capacity_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"invalid capacity range {capacity_range!r}")
+    rng = as_generator(seed)
+    return [PMSpec(capacity=float(c)) for c in rng.uniform(lo, hi, size=n_pms)]
+
+
+@dataclass(frozen=True)
+class TableIRow:
+    """One row of the paper's Table I.
+
+    Attributes
+    ----------
+    pattern:
+        Which spike-size pattern the row belongs to.
+    base_class, extra_class:
+        Size class (``"small"``/``"medium"``/``"large"``) of ``R_b``/``R_e``.
+    normal_users, peak_users:
+        Users accommodated at normal/peak capability (paper's last columns).
+    """
+
+    pattern: PatternName
+    base_class: str
+    extra_class: str
+    normal_users: int
+    peak_users: int
+
+
+def _row(pattern: PatternName, base: str, extra: str) -> TableIRow:
+    normal = USERS_PER_CLASS[base]
+    peak = normal + USERS_PER_CLASS[extra]
+    return TableIRow(pattern, base, extra, normal, peak)
+
+
+#: the paper's Table I, row for row
+TABLE_I: tuple[TableIRow, ...] = (
+    _row("equal", "small", "small"),
+    _row("equal", "medium", "medium"),
+    _row("equal", "large", "large"),
+    _row("small", "medium", "small"),
+    _row("small", "large", "medium"),
+    _row("large", "small", "medium"),
+    _row("large", "medium", "large"),
+)
+
+
+def table_i_vms(
+    pattern: PatternName,
+    n_vms: int,
+    *,
+    p_on: float = DEFAULT_P_ON,
+    p_off: float = DEFAULT_P_OFF,
+    users_per_resource_unit: float = 100.0,
+    seed: SeedLike = None,
+) -> list[VMSpec]:
+    """VM fleet drawn from the Table I rows of one pattern.
+
+    Each VM picks one of the pattern's rows uniformly at random; demand is
+    the row's user count divided by ``users_per_resource_unit`` (the paper
+    quantifies workload by users served; scaling keeps magnitudes comparable
+    with the Fig. 5 ranges: 400 users -> 4.0 units, 1600 -> 16.0).
+    """
+    rows = [r for r in TABLE_I if r.pattern == pattern]
+    if not rows:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    n_vms = check_integer(n_vms, "n_vms", minimum=1)
+    rng = as_generator(seed)
+    picks = rng.integers(0, len(rows), size=n_vms)
+    vms = []
+    for p in picks:
+        row = rows[int(p)]
+        r_base = row.normal_users / users_per_resource_unit
+        r_extra = (row.peak_users - row.normal_users) / users_per_resource_unit
+        vms.append(VMSpec(p_on=p_on, p_off=p_off, r_base=r_base, r_extra=r_extra))
+    return vms

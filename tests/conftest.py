@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import PMSpec, VMSpec
+from repro.workload.patterns import generate_pattern_instance
+
+#: the paper's default switch probabilities
+P_ON, P_OFF = 0.01, 0.09
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_vms() -> list[VMSpec]:
+    """Six hand-written VMs with heterogeneous footprints."""
+    return [
+        VMSpec(P_ON, P_OFF, r_base=10.0, r_extra=10.0),
+        VMSpec(P_ON, P_OFF, r_base=15.0, r_extra=5.0),
+        VMSpec(P_ON, P_OFF, r_base=5.0, r_extra=15.0),
+        VMSpec(P_ON, P_OFF, r_base=8.0, r_extra=12.0),
+        VMSpec(P_ON, P_OFF, r_base=20.0, r_extra=2.0),
+        VMSpec(P_ON, P_OFF, r_base=2.0, r_extra=18.0),
+    ]
+
+
+@pytest.fixture
+def small_pms() -> list[PMSpec]:
+    """Four identical 100-unit PMs."""
+    return [PMSpec(capacity=100.0) for _ in range(4)]
+
+
+@pytest.fixture
+def medium_instance() -> tuple[list[VMSpec], list[PMSpec]]:
+    """A reproducible 80-VM equal-pattern instance."""
+    return generate_pattern_instance("equal", n_vms=80, seed=777)

@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.fairness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    fairness_report,
+    gini_coefficient,
+    jains_index,
+    max_share,
+)
+
+
+class TestJain:
+    def test_even_allocation_is_one(self):
+        assert jains_index(np.full(10, 3.0)) == pytest.approx(1.0)
+
+    def test_single_holder_is_one_over_n(self):
+        x = np.zeros(8)
+        x[3] = 5.0
+        assert jains_index(x) == pytest.approx(1 / 8)
+
+    def test_all_zero_is_fair(self):
+        assert jains_index(np.zeros(5)) == 1.0
+
+    def test_scale_invariant(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert jains_index(x) == pytest.approx(jains_index(10 * x))
+
+    def test_known_value(self):
+        assert jains_index(np.array([1.0, 1.0, 2.0])) == pytest.approx(
+            16 / (3 * 6)
+        )
+
+
+class TestGini:
+    def test_even_is_zero(self):
+        assert gini_coefficient(np.full(6, 2.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_holder_approaches_one(self):
+        x = np.zeros(100)
+        x[0] = 1.0
+        assert gini_coefficient(x) == pytest.approx(0.99)
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient(np.zeros(4)) == 0.0
+
+    def test_order_invariant(self):
+        x = np.array([5.0, 1.0, 3.0])
+        assert gini_coefficient(x) == pytest.approx(
+            gini_coefficient(np.sort(x))
+        )
+
+    def test_known_value(self):
+        # [0, 1]: Gini = 1/2
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+
+class TestMaxShare:
+    def test_values(self):
+        assert max_share(np.array([1.0, 3.0])) == pytest.approx(0.75)
+        assert max_share(np.zeros(3)) == 0.0
+
+
+class TestReport:
+    def test_keys_and_consistency(self):
+        x = np.array([0.0, 2.0, 2.0])
+        report = fairness_report(x)
+        assert report["n"] == 3
+        assert report["total"] == 4.0
+        assert report["jain"] == pytest.approx(jains_index(x))
+        assert report["gini"] == pytest.approx(gini_coefficient(x))
+        assert report["max_share"] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_index(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            gini_coefficient(np.empty(0))
+        with pytest.raises(ValueError):
+            max_share(np.ones((2, 2)))
+
+
+class TestOnSimulation:
+    def test_fairness_of_suffering_is_measurable(self):
+        """End-to-end: per-VM suffering from a spare-free RB run yields a
+        meaningful fairness report (concentrated on some VMs)."""
+        from repro.core.types import Placement
+        from repro.placement.ffd import ffd_by_base
+        from repro.simulation.scheduler import run_simulation
+        from repro.workload.patterns import generate_pattern_instance
+
+        vms, pms = generate_pattern_instance("equal", 60, seed=1)
+        placement = ffd_by_base(max_vms_per_pm=16).place(vms, pms)
+        m = int(placement.used_pms().max()) + 1
+        placement = Placement(len(vms), m, assignment=placement.assignment)
+        result = run_simulation(vms, pms[:m], placement,
+                                n_intervals=300, seed=2)
+        suffering = result.record.vm_suffering_fraction()
+        report = fairness_report(suffering)
+        assert report["total"] > 0
+        # violations cluster on the overcommitted PMs' tenants
+        assert report["jain"] < 1.0
+        assert 0.0 < report["max_share"] <= 1.0

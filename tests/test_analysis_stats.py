@@ -1,0 +1,103 @@
+"""Tests for repro.analysis.stats — batch means and warm-up detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import batch_means, required_runs, warmup_cutoff
+
+
+class TestBatchMeans:
+    def test_mean_matches_sample_mean(self):
+        x = np.arange(100.0)
+        r = batch_means(x, n_batches=10)
+        assert r.mean == pytest.approx(x.mean())
+        assert r.batch_size == 10
+        assert r.n_batches == 10
+
+    def test_interval_contains_truth_for_iid(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for i in range(50):
+            x = rng.normal(5.0, 1.0, 2000)
+            r = batch_means(x, n_batches=20, confidence=0.95)
+            hits += r.contains(5.0)
+        assert hits >= 42  # ~95% coverage, allow sampling slack
+
+    def test_half_width_shrinks_with_data(self):
+        rng = np.random.default_rng(1)
+        short = batch_means(rng.normal(0, 1, 400), n_batches=20)
+        long = batch_means(rng.normal(0, 1, 40_000), n_batches=20)
+        assert long.half_width < short.half_width
+
+    def test_correlated_series_wider_than_iid_naive(self):
+        """Batch means must widen the interval for a positively correlated
+        series relative to the (wrong) iid formula."""
+        from repro.markov.onoff import OnOffChain
+
+        traj = OnOffChain(0.01, 0.09).simulate(100_000, seed=2).astype(float)
+        r = batch_means(traj, n_batches=20)
+        naive_se = traj.std(ddof=1) / np.sqrt(traj.size)
+        assert r.half_width > 2 * naive_se
+
+    def test_constant_series_zero_width(self):
+        r = batch_means(np.full(100, 3.0), n_batches=10)
+        assert r.mean == 3.0
+        assert r.half_width == 0.0
+        assert r.low == r.high == 3.0
+
+    def test_trailing_remainder_dropped(self):
+        x = np.concatenate([np.zeros(100), np.array([1e9] * 3)])
+        r = batch_means(x, n_batches=10)  # batch=10, uses first 100 only
+        assert r.mean == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means(np.arange(5.0), n_batches=10)
+        with pytest.raises(ValueError):
+            batch_means(np.arange(100.0), n_batches=1)
+        with pytest.raises(ValueError):
+            batch_means(np.ones((10, 10)))
+        with pytest.raises(ValueError):
+            batch_means(np.arange(100.0), confidence=1.0)
+
+
+class TestWarmupCutoff:
+    def test_detects_transient(self):
+        # 200 biased samples then 2000 stationary ones.
+        rng = np.random.default_rng(3)
+        x = np.concatenate([
+            np.linspace(10, 0, 200) + rng.normal(0, 0.1, 200),
+            rng.normal(0, 0.1, 2000),
+        ])
+        cut = warmup_cutoff(x, batch=5)
+        assert 100 <= cut <= 600
+
+    def test_stationary_series_small_cutoff(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 1, 2000)
+        assert warmup_cutoff(x) <= 500  # capped at half anyway
+
+    def test_short_series_returns_zero(self):
+        assert warmup_cutoff(np.arange(10.0), batch=5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            warmup_cutoff(np.empty(0))
+
+
+class TestRequiredRuns:
+    def test_formula(self):
+        # z(95%) ~ 1.96: n = (1.96 * 2 / 0.5)^2 ~ 61.5 -> 62
+        assert required_runs(0.5, 2.0) == 62
+
+    def test_zero_std(self):
+        assert required_runs(0.1, 0.0) == 2
+
+    def test_tighter_target_needs_more(self):
+        assert required_runs(0.1, 1.0) > required_runs(0.5, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_runs(0.0, 1.0)
+        with pytest.raises(ValueError):
+            required_runs(0.5, -1.0)

@@ -1,0 +1,109 @@
+"""Tests for repro.cluster — binning and 1-D k-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.binning import equal_width_bins
+from repro.cluster.kmeans import kmeans_1d
+
+
+class TestEqualWidthBins:
+    def test_labels_in_range(self):
+        v = np.array([1.0, 5.0, 9.0, 3.0])
+        labels = equal_width_bins(v, 4)
+        assert labels.min() >= 0 and labels.max() <= 3
+
+    def test_ordering_follows_values(self):
+        v = np.array([1.0, 10.0, 20.0])
+        labels = equal_width_bins(v, 2)
+        assert labels[0] <= labels[1] <= labels[2]
+        assert labels[0] < labels[2]
+
+    def test_max_value_lands_in_last_bin(self):
+        labels = equal_width_bins(np.array([0.0, 10.0]), 5)
+        assert labels[1] == 4
+
+    def test_all_equal_values(self):
+        labels = equal_width_bins(np.full(5, 3.0), 4)
+        np.testing.assert_array_equal(labels, 0)
+
+    def test_single_bin(self):
+        labels = equal_width_bins(np.array([1.0, 100.0]), 1)
+        np.testing.assert_array_equal(labels, 0)
+
+    def test_empty_input(self):
+        assert equal_width_bins(np.empty(0), 3).size == 0
+
+    def test_similar_values_share_bins(self):
+        v = np.array([1.0, 1.1, 10.0, 10.1])
+        labels = equal_width_bins(v, 3)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            equal_width_bins(np.array([1.0, np.nan]), 2)
+        with pytest.raises(ValueError):
+            equal_width_bins(np.ones((2, 2)), 2)
+        with pytest.raises(ValueError):
+            equal_width_bins(np.array([1.0]), 0)
+
+    def test_linear_time_single_pass_semantics(self):
+        # label = floor((v - lo) / width) for interior points
+        v = np.array([0.0, 2.5, 5.0, 7.5, 10.0])
+        labels = equal_width_bins(v, 4)
+        np.testing.assert_array_equal(labels, [0, 1, 2, 3, 3])
+
+
+class TestKMeans1D:
+    def test_well_separated_clusters(self):
+        v = np.concatenate([np.full(10, 1.0), np.full(10, 100.0)])
+        labels = kmeans_1d(v, 2, seed=0)
+        assert len(set(labels[:10])) == 1
+        assert len(set(labels[10:])) == 1
+        assert labels[0] != labels[10]
+
+    def test_labels_ordered_by_centroid(self):
+        v = np.array([100.0, 1.0, 50.0])
+        labels = kmeans_1d(v, 3, seed=0)
+        # smallest value gets label 0, largest the highest label
+        assert labels[1] == 0
+        assert labels[0] == labels.max()
+
+    def test_fewer_unique_values_than_clusters(self):
+        v = np.array([1.0, 1.0, 2.0])
+        labels = kmeans_1d(v, 5, seed=0)
+        assert set(labels.tolist()) <= {0, 1}
+
+    def test_deterministic_with_seed(self):
+        v = np.random.default_rng(1).uniform(0, 100, 50)
+        np.testing.assert_array_equal(kmeans_1d(v, 4, seed=7),
+                                      kmeans_1d(v, 4, seed=7))
+
+    def test_empty(self):
+        assert kmeans_1d(np.empty(0), 3).size == 0
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0, np.inf]), 2)
+
+    def test_labels_contiguous_from_zero(self):
+        v = np.random.default_rng(2).uniform(0, 10, 30)
+        labels = kmeans_1d(v, 4, seed=3)
+        uniq = np.unique(labels)
+        np.testing.assert_array_equal(uniq, np.arange(uniq.size))
+
+    def test_within_cluster_variance_not_worse_than_binning(self):
+        """k-means should achieve within-cluster SSE <= equal-width binning
+        on a clumpy distribution (this is the ablation's premise)."""
+        rng = np.random.default_rng(4)
+        v = np.concatenate([rng.normal(5, 0.2, 40), rng.normal(50, 0.2, 40)])
+
+        def sse(labels):
+            return sum(
+                ((v[labels == c] - v[labels == c].mean()) ** 2).sum()
+                for c in np.unique(labels)
+            )
+
+        assert sse(kmeans_1d(v, 2, seed=0)) <= sse(equal_width_bins(v, 2)) + 1e-9

@@ -1,0 +1,54 @@
+"""Tests for repro.core.rounding."""
+
+import pytest
+
+from repro.core.rounding import round_switch_probabilities
+from repro.core.types import VMSpec
+
+
+def vms_hetero():
+    return [
+        VMSpec(0.01, 0.10, 1.0, 1.0),
+        VMSpec(0.03, 0.06, 1.0, 1.0),
+        VMSpec(0.02, 0.08, 1.0, 1.0),
+    ]
+
+
+class TestRounding:
+    def test_mean(self):
+        p_on, p_off = round_switch_probabilities(vms_hetero(), "mean")
+        assert p_on == pytest.approx(0.02)
+        assert p_off == pytest.approx(0.08)
+
+    def test_conservative(self):
+        p_on, p_off = round_switch_probabilities(vms_hetero(), "conservative")
+        assert p_on == 0.03   # max spike frequency
+        assert p_off == 0.06  # min end-probability = longest spikes
+
+    def test_median(self):
+        p_on, p_off = round_switch_probabilities(vms_hetero(), "median")
+        assert p_on == 0.02
+        assert p_off == 0.08
+
+    def test_uniform_input_is_identity(self):
+        vms = [VMSpec(0.01, 0.09, 1.0, 1.0)] * 3
+        for rule in ("mean", "conservative", "median"):
+            p_on, p_off = round_switch_probabilities(vms, rule)
+            assert p_on == pytest.approx(0.01)
+            assert p_off == pytest.approx(0.09)
+
+    def test_conservative_dominates_on_fraction(self):
+        # Conservative rounding can only overstate the stationary ON prob.
+        vms = vms_hetero()
+        c_on, c_off = round_switch_probabilities(vms, "conservative")
+        q_cons = c_on / (c_on + c_off)
+        for v in vms:
+            assert q_cons >= v.p_on / (v.p_on + v.p_off) - 1e-12
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            round_switch_probabilities([], "mean")
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            round_switch_probabilities(vms_hetero(), "mode")

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are the public face of the library — a broken one is a release
+blocker.  Each runs in a subprocess (so ``__main__`` guards and prints work
+exactly as a user would see them) with a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(path: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3  # the deliverable floor
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_runs_cleanly(self, path):
+        result = run_example(path)
+        assert result.returncode == 0, (
+            f"{path.name} failed:\n{result.stderr[-2000:]}"
+        )
+        assert result.stdout.strip(), f"{path.name} produced no output"
+
+    def test_quickstart_shows_the_headline(self):
+        result = run_example(EXAMPLES_DIR / "quickstart.py")
+        assert "MapCal" in result.stdout
+        assert "fewer PMs" in result.stdout
+
+    def test_webfarm_reports_all_strategies(self):
+        result = run_example(EXAMPLES_DIR / "webfarm_consolidation.py")
+        for name in ("QUEUE", "RB", "RB-EX"):
+            assert name in result.stdout
+
+    def test_estimation_example_verifies_guarantee(self):
+        result = run_example(EXAMPLES_DIR / "parameter_estimation.py")
+        assert "holds" in result.stdout

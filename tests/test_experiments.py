@@ -1,0 +1,172 @@
+"""Tests for repro.experiments — each paper artifact regenerates with the
+paper's qualitative shape (scaled-down parameters for test speed)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_result
+from repro.experiments import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+    strategies_for_packing,
+    strategies_for_runtime,
+)
+
+FAST = ExperimentSettings(n_intervals=60)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        s = DEFAULT_SETTINGS
+        assert (s.rho, s.d, s.p_on, s.p_off, s.delta) == (0.01, 16, 0.01, 0.09, 0.3)
+        assert s.n_intervals == 100
+
+    def test_strategy_sets(self):
+        assert set(strategies_for_packing()) == {"QUEUE", "RP", "RB"}
+        assert set(strategies_for_runtime()) == {"QUEUE", "RB", "RB-EX"}
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(n_vms_list=(80, 160), n_repetitions=2, seed=1)
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 3 * 2  # patterns x n values
+
+    def test_queue_between_rb_and_rp(self, result):
+        for row in result.rows:
+            _, _, queue, rp, rb, _, _ = row
+            assert rb <= queue <= rp
+
+    def test_pm_counts_grow_with_n(self, result):
+        for pattern in ("Rb=Re", "Rb>Re", "Rb<Re"):
+            rows = [r for r in result.rows if r[0] == pattern]
+            assert rows[0][2] < rows[1][2]  # QUEUE PMs increase with n
+
+    def test_large_spikes_give_best_reduction(self, result):
+        """Paper abstract: up to 45% with large spikes, ~30% normal."""
+        def mean_reduction(pattern):
+            return np.mean([r[5] for r in result.rows if r[0] == pattern])
+
+        assert mean_reduction("Rb<Re") > mean_reduction("Rb=Re")
+        assert mean_reduction("Rb=Re") > mean_reduction("Rb>Re")
+
+    def test_renderable(self, result):
+        assert "fig5" in render_result(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(n_vms=80, n_steps=8000, n_repetitions=2, seed=2)
+
+    def test_rp_never_violates(self, result):
+        for row in result.rows:
+            if row[1] == "RP":
+                assert row[2] == 0.0 and row[3] == 0.0
+
+    def test_queue_bounded_by_rho(self, result):
+        for row in result.rows:
+            if row[1] == "QUEUE":
+                assert row[2] <= 0.01 + 0.01  # mean CVR near rho
+
+    def test_rb_disastrous(self, result):
+        for pattern in ("Rb=Re", "Rb>Re", "Rb<Re"):
+            rb = next(r for r in result.rows if r[0] == pattern and r[1] == "RB")
+            queue = next(r for r in result.rows if r[0] == pattern and r[1] == "QUEUE")
+            assert rb[2] > 10 * max(queue[2], 1e-6)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(d_values=(4, 8, 16), n_values=(50, 100), seed=3)
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 6
+
+    def test_cost_grows_with_d(self, result):
+        for n in (50, 100):
+            costs = [r[2] for r in result.rows if r[1] == n]  # mapcal_ms by d
+            assert costs[0] < costs[-1]
+
+    def test_total_is_sum(self, result):
+        for row in result.rows:
+            assert row[4] == pytest.approx(row[2] + row[3], rel=0.01)
+
+    def test_millisecond_scale(self, result):
+        # Paper: "very few overheads with moderate n and d values".
+        assert all(r[4] < 2000.0 for r in result.rows)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(n_intervals=300, seed=4)
+
+    def test_two_levels_present(self, result):
+        states = result.column("state")
+        assert "OFF" in states  # ON may be rare but OFF is the norm
+        requests = result.column("requests")
+        assert max(requests) > 0
+
+    def test_burstiness_noted(self, result):
+        assert any("index of dispersion" in n for n in result.notes)
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        result = run_table1()
+        assert len(result.rows) == 7
+        assert result.rows[0] == ["Rb=Re", "small", "small", 400, 800]
+        assert result.rows[2] == ["Rb=Re", "large", "large", 1600, 3200]
+        assert result.rows[-1] == ["Rb<Re", "medium", "large", 800, 2400]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(n_vms=50, n_repetitions=2, settings=FAST, seed=5)
+
+    def test_rows_cover_grid(self, result):
+        assert len(result.rows) == 9  # 3 patterns x 3 strategies
+
+    def test_rb_migrates_most(self, result):
+        for pattern in ("Rb=Re", "Rb>Re", "Rb<Re"):
+            rows = {r[1]: r for r in result.rows if r[0] == pattern}
+            assert rows["RB"][2] > rows["QUEUE"][2]
+
+    def test_min_le_avg_le_max(self, result):
+        for r in result.rows:
+            assert r[3] <= r[2] <= r[4]
+            assert r[6] <= r[5] <= r[7]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(n_vms=50, settings=FAST, seed=6)
+
+    def test_cumulative_curves_monotone(self, result):
+        for col in ("QUEUE_cum_migrations", "RB_cum_migrations",
+                    "RB-EX_cum_migrations"):
+            series = result.column(col)
+            assert series == sorted(series)
+
+    def test_rb_ends_highest(self, result):
+        assert result.column("RB_cum_migrations")[-1] >= (
+            result.column("QUEUE_cum_migrations")[-1]
+        )
+
+    def test_queue_nearly_flat(self, result):
+        q = result.column("QUEUE_cum_migrations")
+        rb = result.column("RB_cum_migrations")
+        assert q[-1] <= max(rb[-1] // 2, 2)

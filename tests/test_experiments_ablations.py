@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.ablations — the packaged ablation studies.
+
+The benchmarks exercise each study at full scale; these tests verify the
+package-level contract (registry integrity, determinism, result shape) at
+reduced scale so the unit suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ExperimentResult, render_result
+from repro.experiments.ablations import (
+    ABLATIONS,
+    run_clustering_ablation,
+    run_optimality_gap,
+    run_rho_sweep,
+    run_switch_sweep,
+)
+
+
+class TestRegistry:
+    def test_ids_unique_and_prefixed(self):
+        assert len(ABLATIONS) == len(set(ABLATIONS))
+        assert all(k.startswith("ablation_") for k in ABLATIONS)
+
+    def test_functions_return_experiment_results(self):
+        # Run the two cheapest studies end-to-end through the registry.
+        for exp_id in ("ablation_switch_sweep",):
+            fn, _ = ABLATIONS[exp_id]
+            result = fn()
+            assert isinstance(result, ExperimentResult)
+            assert result.rows
+            assert render_result(result)
+
+
+class TestDeterminism:
+    def test_switch_sweep_deterministic(self):
+        a = run_switch_sweep()
+        b = run_switch_sweep()
+        assert a.rows == b.rows
+
+    def test_rho_sweep_deterministic(self):
+        a = run_rho_sweep(n_vms=60, seed=1)
+        b = run_rho_sweep(n_vms=60, seed=1)
+        assert a.rows == b.rows
+
+    def test_clustering_deterministic(self):
+        a = run_clustering_ablation(n_vms=60, seeds=(1, 2))
+        b = run_clustering_ablation(n_vms=60, seeds=(1, 2))
+        assert a.rows == b.rows
+
+
+class TestReducedScaleShapes:
+    def test_rho_sweep_monotone_at_small_scale(self):
+        result = run_rho_sweep(n_vms=80, seed=3)
+        pms = result.column("PMs_used")
+        assert pms == sorted(pms, reverse=True)
+
+    def test_optimality_gap_small(self):
+        result = run_optimality_gap(n_vms=10, n_instances=3)
+        for row in result.rows:
+            _, ffd_avg, opt_avg, l2_avg, _ = row
+            assert l2_avg <= opt_avg <= ffd_avg
+
+    def test_switch_sweep_headers(self):
+        result = run_switch_sweep()
+        assert "blocks_K" in result.headers
+        assert len(result.rows) == 8

@@ -1,0 +1,74 @@
+"""Tests for repro.experiments.claims — machine-checked paper claims."""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.experiments.claims import CLAIM_SUITES, PaperClaim, verify_claims
+
+
+class TestRegistry:
+    def test_suites_cover_the_evaluation_figures(self):
+        assert [s[0] for s in CLAIM_SUITES] == ["fig5", "fig6", "fig9"]
+
+    def test_ten_claims_registered(self):
+        total = sum(len(claims) for _, _, claims in CLAIM_SUITES)
+        assert total == 10
+
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for _, _, claims in CLAIM_SUITES for c in claims]
+        assert len(ids) == len(set(ids))
+
+    def test_claims_carry_sources_and_statements(self):
+        for _, _, claims in CLAIM_SUITES:
+            for c in claims:
+                assert c.statement and c.source
+                assert callable(c.check)
+
+
+class TestChecks:
+    def test_fig5_checks_on_synthetic_evidence(self):
+        """The predicates respond correctly to hand-built good/bad tables."""
+        _, _, claims = CLAIM_SUITES[0]
+        by_id = {c.claim_id: c for c in claims}
+        good = ExperimentResult("fig5", "x", headers=[
+            "pattern", "n_vms", "QUEUE", "RP", "RB", "QUEUE_vs_RP_%", "extra"])
+        for pattern, red in (("Rb=Re", 26.0), ("Rb>Re", 13.0), ("Rb<Re", 42.0)):
+            good.add_row(pattern, 100, 18.0, 24.0, 12.0, red, 6.0)
+        assert by_id["pm-reduction-large"].check(good)
+        assert by_id["pm-reduction-normal"].check(good)
+        assert by_id["queue-between-rb-and-rp"].check(good)
+
+        bad = ExperimentResult("fig5", "x", headers=good.headers)
+        bad.add_row("Rb<Re", 100, 24.0, 24.0, 25.0, 0.0, -1.0)
+        assert not by_id["pm-reduction-large"].check(bad)
+        assert not by_id["queue-between-rb-and-rp"].check(bad)
+
+    def test_fig6_checks_on_synthetic_evidence(self):
+        _, _, claims = CLAIM_SUITES[1]
+        by_id = {c.claim_id: c for c in claims}
+        good = ExperimentResult("fig6", "x", headers=[
+            "pattern", "strategy", "mean_CVR", "max_CVR", "frac"])
+        for strat, cvr in (("QUEUE", 0.004), ("RP", 0.0), ("RB", 0.5)):
+            good.add_row("Rb=Re", strat, cvr, cvr, 0.0)
+        assert all(c.check(good) for c in claims)
+
+        bad = ExperimentResult("fig6", "x", headers=good.headers)
+        bad.add_row("Rb=Re", "QUEUE", 0.5, 0.5, 0.9)
+        bad.add_row("Rb=Re", "RP", 0.1, 0.1, 0.5)
+        bad.add_row("Rb=Re", "RB", 0.01, 0.01, 0.0)
+        assert not any(c.check(bad) for c in claims)
+
+
+class TestVerifyClaimsEndToEnd:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return verify_claims()
+
+    def test_all_pass(self, report):
+        verdicts = report.column("verdict")
+        assert verdicts == ["PASS"] * 10
+
+    def test_report_shape(self, report):
+        assert report.experiment_id == "claims"
+        assert len(report.rows) == 10
+        assert any("10/10" in n for n in report.notes)

@@ -1,0 +1,101 @@
+"""Integration tests for the extension placers under runtime simulation.
+
+The paper-shape integration tests cover QUEUE/RP/RB; these verify the two
+extension reservations (exact heterogeneous, blockless quantile) deliver
+the same runtime behaviour class as QUEUE — near-zero migrations, bounded
+CVR — while packing at least as tight.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heterogeneous import HeterogeneousQueuingFFD
+from repro.core.quantile import QuantileFFD
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.types import VMSpec
+from repro.simulation.scenario import compare_scenarios
+from repro.workload.patterns import generate_pattern_instance, make_pms
+
+
+@pytest.fixture(scope="module")
+def uniform_instance():
+    return generate_pattern_instance("equal", 100, seed=51)
+
+
+@pytest.fixture(scope="module")
+def hetero_instance():
+    rng = np.random.default_rng(52)
+    vms = [
+        VMSpec(
+            float(rng.uniform(0.005, 0.03)), float(rng.uniform(0.05, 0.15)),
+            float(rng.uniform(2, 20)), float(rng.uniform(2, 20)),
+        )
+        for _ in range(100)
+    ]
+    return vms, make_pms(100, seed=52)
+
+
+class TestUniformFleet:
+    @pytest.fixture(scope="class")
+    def reports(self, uniform_instance):
+        vms, pms = uniform_instance
+        return compare_scenarios(
+            vms, pms,
+            {"QUEUE": QueuingFFD(rho=0.01, d=16),
+             "HET": HeterogeneousQueuingFFD(rho=0.01, d=16),
+             "QUANTILE": QuantileFFD(rho=0.01, d=16)},
+            n_intervals=150, seed=53,
+        )
+
+    def test_migrations_within_the_rho_budget(self, reports):
+        """Block reservations over-reserve (few events); the quantile
+        reservation runs right at its budget, so its overflow-triggered
+        migrations approach rho x PMs x intervals but not beyond."""
+        for name in ("QUEUE", "HET"):
+            assert reports[name].total_migrations <= 5, name
+        quant = reports["QUANTILE"]
+        budget = 0.01 * quant.initial_pms_used * quant.record.n_intervals
+        assert quant.total_migrations <= budget * 1.5
+
+    def test_all_cvr_bounded(self, reports):
+        for name, report in reports.items():
+            assert report.mean_cvr <= 0.02, name
+
+    def test_extensions_pack_at_least_as_tight(self, reports):
+        assert (reports["HET"].initial_pms_used
+                == reports["QUEUE"].initial_pms_used)
+        assert (reports["QUANTILE"].initial_pms_used
+                <= reports["QUEUE"].initial_pms_used)
+
+    def test_pm_counts_stable(self, reports):
+        for name, report in reports.items():
+            series = report.record.pms_used_series
+            assert series.max() - series.min() <= 2, name
+
+
+class TestHeterogeneousFleet:
+    @pytest.fixture(scope="class")
+    def reports(self, hetero_instance):
+        vms, pms = hetero_instance
+        return compare_scenarios(
+            vms, pms,
+            {"QUEUE-mean": QueuingFFD(rho=0.01, d=16, rounding_rule="mean"),
+             "QUEUE-cons": QueuingFFD(rho=0.01, d=16,
+                                      rounding_rule="conservative"),
+             "HET": HeterogeneousQueuingFFD(rho=0.01, d=16)},
+            n_intervals=150, seed=54,
+        )
+
+    def test_exact_beats_conservative_footprint(self, reports):
+        assert (reports["HET"].initial_pms_used
+                <= reports["QUEUE-cons"].initial_pms_used)
+
+    def test_exact_runtime_cvr_bounded(self, reports):
+        assert reports["HET"].mean_cvr <= 0.02
+        assert reports["HET"].total_migrations <= 5
+
+    def test_footprint_ordering(self, reports):
+        # mean rounding <= exact <= conservative (exact sits between by
+        # construction: it reserves truly enough, conservative over-reserves)
+        assert (reports["QUEUE-mean"].initial_pms_used
+                <= reports["HET"].initial_pms_used + 1)

@@ -1,0 +1,119 @@
+"""Tests for repro.markov.onoff — the per-VM ON-OFF chain."""
+
+import numpy as np
+import pytest
+
+from repro.markov.onoff import OFF, ON, OnOffChain
+from repro.workload.stats import burst_lengths
+
+
+@pytest.fixture
+def chain():
+    return OnOffChain(p_on=0.01, p_off=0.09)
+
+
+class TestConstruction:
+    def test_rejects_zero_probabilities(self):
+        with pytest.raises(ValueError):
+            OnOffChain(0.0, 0.5)
+        with pytest.raises(ValueError):
+            OnOffChain(0.5, 0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            OnOffChain(1.5, 0.5)
+
+
+class TestAnalytics:
+    def test_stationary_probabilities(self, chain):
+        assert chain.stationary_on_probability == pytest.approx(0.1)
+        assert chain.stationary_off_probability == pytest.approx(0.9)
+        assert (chain.stationary_on_probability
+                + chain.stationary_off_probability) == pytest.approx(1.0)
+
+    def test_burst_and_gap_means(self, chain):
+        assert chain.mean_burst_length == pytest.approx(1 / 0.09)
+        assert chain.mean_gap_length == pytest.approx(100.0)
+        assert chain.cycle_length == pytest.approx(100.0 + 1 / 0.09)
+
+    def test_burst_length_pmf_is_geometric(self, chain):
+        lengths = np.arange(1, 200)
+        pmf = chain.burst_length_pmf(lengths)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        assert pmf[0] == pytest.approx(0.09)
+        # mean of the pmf equals 1/p_off
+        assert (lengths * pmf).sum() == pytest.approx(1 / 0.09, rel=1e-4)
+
+    def test_burst_length_pmf_zero_below_one(self, chain):
+        assert chain.burst_length_pmf(np.array([0])) == pytest.approx(0.0)
+
+    def test_autocorrelation_decay(self, chain):
+        lam = 1 - 0.01 - 0.09
+        assert chain.autocorrelation(0) == pytest.approx(1.0)
+        assert chain.autocorrelation(3) == pytest.approx(lam**3)
+        with pytest.raises(ValueError):
+            chain.autocorrelation(-1)
+
+    def test_transition_matrix(self, chain):
+        P = chain.transition_matrix()
+        np.testing.assert_allclose(P, [[0.99, 0.01], [0.09, 0.91]])
+
+    def test_as_chain_stationary_matches(self, chain):
+        pi = chain.as_chain().stationary_distribution()
+        np.testing.assert_allclose(
+            pi, [chain.stationary_off_probability, chain.stationary_on_probability],
+            atol=1e-12,
+        )
+
+
+class TestSimulation:
+    def test_trajectory_shape_and_values(self, chain):
+        traj = chain.simulate(500, seed=0)
+        assert traj.shape == (501,)
+        assert set(np.unique(traj)) <= {OFF, ON}
+
+    def test_initial_state_respected(self, chain):
+        assert chain.simulate(0, initial_state=ON, seed=0)[0] == ON
+        with pytest.raises(ValueError):
+            chain.simulate(5, initial_state=2)
+
+    def test_long_run_on_fraction(self, chain):
+        traj = chain.simulate(300_000, seed=42)
+        assert traj.mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_mean_burst_length_empirical(self, chain):
+        traj = chain.simulate(300_000, seed=7)
+        bursts = burst_lengths(traj)
+        assert bursts.mean() == pytest.approx(1 / 0.09, rel=0.1)
+
+    def test_negative_steps_rejected(self, chain):
+        with pytest.raises(ValueError):
+            chain.simulate(-1)
+
+
+class TestEnsemble:
+    def test_shape(self, chain):
+        states = chain.simulate_ensemble(10, 50, seed=0)
+        assert states.shape == (10, 51)
+
+    def test_all_start_off_by_default(self, chain):
+        states = chain.simulate_ensemble(10, 5, seed=0)
+        assert not states[:, 0].any()
+
+    def test_stationary_start_fraction(self, chain):
+        states = chain.simulate_ensemble(50_000, 0, start_stationary=True, seed=1)
+        assert states[:, 0].mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_ensemble_long_run_occupancy(self, chain):
+        states = chain.simulate_ensemble(200, 5000, start_stationary=True, seed=2)
+        assert states.mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_zero_vms(self, chain):
+        states = chain.simulate_ensemble(0, 10, seed=0)
+        assert states.shape == (0, 11)
+
+    def test_invalid_args(self, chain):
+        with pytest.raises(ValueError):
+            chain.simulate_ensemble(-1, 5)
+        with pytest.raises(ValueError):
+            chain.simulate_ensemble(5, -1)

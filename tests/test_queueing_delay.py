@@ -1,0 +1,99 @@
+"""Tests for repro.queueing.delay — deferred-spike metrics."""
+
+import numpy as np
+import pytest
+
+from repro.markov.onoff import OnOffChain
+from repro.queueing.delay import (
+    degradation_profile,
+    expected_backlog,
+    mean_wait_littles_law,
+    spike_arrival_rate,
+    waiting_probability,
+)
+from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+
+
+@pytest.fixture
+def model():
+    return FiniteSourceGeomGeomK(k=10, p_on=0.05, p_off=0.2)
+
+
+class TestBacklog:
+    def test_zero_with_full_blocks(self, model):
+        assert expected_backlog(model, 10) == 0.0
+
+    def test_equals_mean_demand_with_no_blocks(self, model):
+        assert expected_backlog(model, 0) == pytest.approx(
+            model.expected_demand()
+        )
+
+    def test_decreasing_in_blocks(self, model):
+        values = [expected_backlog(model, K) for K in range(11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_matches_simulation(self, model):
+        chain = OnOffChain(0.05, 0.2)
+        states = chain.simulate_ensemble(10, 200_000, start_stationary=True,
+                                         seed=0)
+        busy = states.sum(axis=0)
+        K = 3
+        empirical = float(np.maximum(busy - K, 0).mean())
+        assert empirical == pytest.approx(expected_backlog(model, K), abs=0.01)
+
+
+class TestWaitingProbability:
+    def test_equals_cvr(self, model):
+        for K in (0, 2, 5, 10):
+            assert waiting_probability(model, K) == model.overflow_probability(K)
+
+
+class TestLittlesLaw:
+    def test_arrival_rate_formula(self, model):
+        # E[k - theta] * p_on = k * (1 - q) * p_on
+        q = 0.05 / 0.25
+        expected = 10 * (1 - q) * 0.05
+        assert spike_arrival_rate(model) == pytest.approx(expected)
+
+    def test_mean_wait_zero_with_full_blocks(self, model):
+        assert mean_wait_littles_law(model, 10) == 0.0
+
+    def test_mean_wait_decreasing_in_blocks(self, model):
+        waits = [mean_wait_littles_law(model, K) for K in range(11)]
+        assert all(a >= b for a, b in zip(waits, waits[1:]))
+
+    def test_littles_law_against_simulation(self, model):
+        """W = E[B]/lambda must match the simulated average wait computed
+        as total backlog-intervals over spike starts."""
+        chain = OnOffChain(0.05, 0.2)
+        states = chain.simulate_ensemble(10, 300_000, start_stationary=True,
+                                         seed=1)
+        busy = states.sum(axis=0)
+        K = 3
+        backlog_time = float(np.maximum(busy - K, 0).sum())
+        starts = int(
+            np.maximum(np.diff(states.astype(np.int8), axis=1), 0).sum()
+        )
+        empirical_wait = backlog_time / starts
+        analytic = mean_wait_littles_law(model, K)
+        assert empirical_wait == pytest.approx(analytic, rel=0.1)
+
+
+class TestDegradationProfile:
+    def test_covers_all_block_counts(self, model):
+        rows = degradation_profile(model)
+        assert len(rows) == 11
+        assert rows[0]["n_blocks"] == 0.0
+        assert rows[-1]["p_wait"] == 0.0
+
+    def test_max_blocks_honoured(self, model):
+        rows = degradation_profile(model, max_blocks=4)
+        assert len(rows) == 5
+
+    def test_rows_internally_consistent(self, model):
+        for row in degradation_profile(model):
+            K = int(row["n_blocks"])
+            assert row["p_wait"] == pytest.approx(
+                waiting_probability(model, K))
+            assert row["mean_backlog"] == pytest.approx(
+                expected_backlog(model, K))

@@ -1,0 +1,51 @@
+"""Tests for repro.queueing.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+from repro.queueing.metrics import summarize_occupancy
+
+
+class TestSummarizeOccupancy:
+    def test_point_mass_at_zero(self):
+        m = summarize_occupancy(np.array([1.0, 0.0, 0.0]))
+        assert m.mean_occupancy == 0.0
+        assert m.variance == 0.0
+        assert m.utilization == 0.0
+        assert m.idle_probability == 1.0
+        assert m.full_probability == 0.0
+
+    def test_point_mass_at_full(self):
+        m = summarize_occupancy(np.array([0.0, 0.0, 1.0]))
+        assert m.mean_occupancy == 2.0
+        assert m.utilization == 1.0
+        assert m.full_probability == 1.0
+
+    def test_uniform_distribution(self):
+        m = summarize_occupancy(np.full(5, 0.2))
+        assert m.mean_occupancy == pytest.approx(2.0)
+        assert m.variance == pytest.approx(2.0)
+        assert m.utilization == pytest.approx(0.5)
+
+    def test_single_state_degenerate(self):
+        m = summarize_occupancy(np.array([1.0]))
+        assert m.utilization == 0.0  # K == 0: no windows to utilize
+
+    def test_matches_model_moments(self):
+        model = FiniteSourceGeomGeomK(12, 0.01, 0.09)
+        m = summarize_occupancy(model.stationary_distribution())
+        assert m.mean_occupancy == pytest.approx(model.expected_demand())
+        # Binomial variance: k q (1-q)
+        q = 0.1
+        assert m.variance == pytest.approx(12 * q * (1 - q), abs=1e-9)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            summarize_occupancy(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            summarize_occupancy(np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError):
+            summarize_occupancy(np.empty(0))
+        with pytest.raises(ValueError):
+            summarize_occupancy(np.ones((2, 2)) / 4)

@@ -1,0 +1,70 @@
+"""Tests for the runner's ASCII figure rendering (--plot paths)."""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.experiments.runner import _plot, main
+
+
+def _result(exp_id, headers, rows):
+    r = ExperimentResult(exp_id, "test", headers=headers)
+    for row in rows:
+        r.add_row(*row)
+    return r
+
+
+class TestPlotDispatch:
+    def test_fig5_bar_chart(self):
+        r = _result("fig5",
+                    ["pattern", "n_vms", "QUEUE", "RP", "RB", "x", "y"],
+                    [["Rb=Re", 100, 18.0, 24.0, 12.0, 0.0, 0.0]])
+        art = _plot(r)
+        assert art is not None
+        assert "PMs used" in art and "QUEUE" in art
+
+    def test_fig6_bar_chart(self):
+        r = _result("fig6",
+                    ["pattern", "strategy", "mean_CVR", "max", "frac"],
+                    [["Rb=Re", "QUEUE", 0.004, 0.01, 0.05],
+                     ["Rb=Re", "RB", 0.4, 0.7, 0.9]])
+        art = _plot(r)
+        assert "mean CVR" in art
+        assert "0.0040" in art  # the value_fmt=.4f path
+
+    def test_fig8_sparkline(self):
+        r = _result("fig8", ["interval", "state", "requests"],
+                    [[0, "OFF", 100], [10, "ON", 300], [20, "OFF", 110]])
+        art = _plot(r)
+        assert art.startswith("requests/interval:")
+
+    def test_fig9_bar_chart(self):
+        r = _result("fig9",
+                    ["pattern", "strategy", "migrations_avg", "a", "b",
+                     "c", "d", "e", "f"],
+                    [["Rb=Re", "QUEUE", 1.0, 0, 0, 0, 0, 0, 0],
+                     ["Rb=Re", "RB", 25.0, 0, 0, 0, 0, 0, 0]])
+        art = _plot(r)
+        assert "total migrations" in art
+
+    def test_fig10_line_chart(self):
+        headers = (["interval"]
+                   + [f"{n}_cum_migrations" for n in ("QUEUE", "RB", "RB-EX")]
+                   + [f"{n}_pms_used" for n in ("QUEUE", "RB", "RB-EX")])
+        r = _result("fig10", headers,
+                    [[0, 0, 2, 0, 10, 8, 9],
+                     [50, 0, 15, 2, 10, 9, 9],
+                     [99, 1, 23, 7, 10, 9, 9]])
+        art = _plot(r)
+        assert "cumulative migrations" in art
+        assert "QUEUE" in art
+
+    def test_unplottable_result_returns_none(self):
+        r = _result("table1", ["a"], [[1]])
+        assert _plot(r) is None
+
+
+class TestMainWithPlots:
+    def test_run_table1_with_plot_flag_is_harmless(self, capsys):
+        assert main(["run", "table1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out  # no crash despite no plot available

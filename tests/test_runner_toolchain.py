@@ -1,0 +1,88 @@
+"""Tests for the CLI fit/consolidate toolchain."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.types import VMSpec
+from repro.experiments.runner import main
+from repro.workload.io import load_instance, load_placement, save_traces
+from repro.workload.onoff_generator import demand_trace, ensemble_states
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    vms = [VMSpec(0.02, 0.1, 10.0, 8.0), VMSpec(0.01, 0.09, 5.0, 12.0)]
+    states = ensemble_states(vms, 30_000, start_stationary=True, seed=0)
+    path = tmp_path / "mon.csv"
+    save_traces(path, demand_trace(vms, states))
+    return path
+
+
+class TestFitCommand:
+    def test_fit_prints_table(self, trace_file, capsys):
+        assert main(["fit", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "p_on" in out and "transitions" in out
+        assert out.count("\n") >= 3  # header + two VMs
+
+    def test_fit_writes_instance(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "inst.json"
+        assert main(["fit", str(trace_file), "-o", str(out_path)]) == 0
+        vms, pms = load_instance(out_path)
+        assert len(vms) == 2
+        assert vms[0].r_base == pytest.approx(10.0, abs=0.3)
+        assert all(p.capacity == 100.0 for p in pms)
+
+    def test_fit_hmm_variant(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "inst.json"
+        assert main(["fit", str(trace_file), "--hmm", "-o", str(out_path)]) == 0
+        vms, _ = load_instance(out_path)
+        assert vms[1].r_extra == pytest.approx(12.0, abs=0.5)
+
+    def test_fit_margin_is_conservative(self, trace_file, tmp_path, capsys):
+        plain = tmp_path / "plain.json"
+        margin = tmp_path / "margin.json"
+        main(["fit", str(trace_file), "-o", str(plain)])
+        main(["fit", str(trace_file), "--margin", "0.95", "-o", str(margin)])
+        vms_plain, _ = load_instance(plain)
+        vms_margin, _ = load_instance(margin)
+        for a, b in zip(vms_margin, vms_plain):
+            assert a.r_peak >= b.r_peak - 1e-9
+
+    def test_pm_capacity_flag(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "inst.json"
+        main(["fit", str(trace_file), "-o", str(out_path),
+              "--pm-capacity", "55.5"])
+        _, pms = load_instance(out_path)
+        assert all(p.capacity == 55.5 for p in pms)
+
+
+class TestConsolidateCommand:
+    @pytest.fixture
+    def instance_file(self, trace_file, tmp_path):
+        path = tmp_path / "inst.json"
+        main(["fit", str(trace_file), "-o", str(path)])
+        return path
+
+    def test_consolidate_reports_packing(self, instance_file, capsys):
+        assert main(["consolidate", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "QUEUE" in out and "PMs" in out
+
+    def test_consolidate_writes_valid_placement(self, instance_file, tmp_path,
+                                                capsys):
+        out_path = tmp_path / "map.json"
+        assert main(["consolidate", str(instance_file),
+                     "-o", str(out_path)]) == 0
+        placement = load_placement(out_path)
+        assert placement.all_placed
+
+    def test_exact_variant(self, instance_file, capsys):
+        assert main(["consolidate", str(instance_file), "--exact"]) == 0
+        assert "QUEUE-HET" in capsys.readouterr().out
+
+    def test_rho_flag_respected(self, instance_file, capsys):
+        assert main(["consolidate", str(instance_file), "--rho", "0.5"]) == 0
+        assert "rho=0.5" in capsys.readouterr().out

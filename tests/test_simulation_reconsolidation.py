@@ -1,0 +1,90 @@
+"""Tests for repro.simulation.reconsolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.queuing_ffd import QueuingFFD
+from repro.placement.ffd import ffd_by_base, ffd_by_peak
+from repro.simulation.datacenter import Datacenter
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.monitor import Monitor
+from repro.simulation.reconsolidation import ReconsolidationScheduler
+from repro.workload.patterns import generate_pattern_instance
+
+
+def run_with(scheduler_factory, vms, pms, placement, n_intervals=100, seed=0):
+    dc = Datacenter(vms, pms, placement, seed=seed)
+    scheduler = scheduler_factory(dc)
+    monitor = Monitor(dc.n_pms)
+    engine = SimulationEngine()
+
+    def tick(t):
+        dc.step()
+        monitor.record_interval(dc, scheduler.resolve_overloads(t))
+
+    engine.add_hook("tick", tick)
+    engine.run(n_intervals)
+    return monitor.finalize(), scheduler
+
+
+class TestReconsolidation:
+    def test_replan_fires_on_period(self):
+        vms, pms = generate_pattern_instance("equal", 40, seed=1)
+        # Start from a deliberately loose placement (peak provisioning).
+        placement = ffd_by_peak(max_vms_per_pm=16).place(vms, pms)
+        record, scheduler = run_with(
+            lambda dc: ReconsolidationScheduler(dc, period=25),
+            vms, pms, placement, n_intervals=60, seed=2,
+        )
+        # The first re-plan (t = 25) must compact the RP placement.
+        assert scheduler.planned_migrations > 0
+        assert record.pms_used_series[-1] < record.pms_used_series[0]
+
+    def test_compacts_toward_queue_packing(self):
+        vms, pms = generate_pattern_instance("equal", 60, seed=3)
+        placement = ffd_by_peak(max_vms_per_pm=16).place(vms, pms)
+        queue_pms = QueuingFFD(rho=0.01, d=16).place(vms, pms).n_used_pms
+        record, _ = run_with(
+            lambda dc: ReconsolidationScheduler(
+                dc, placer=QueuingFFD(rho=0.01, d=16), period=20),
+            vms, pms, placement, n_intervals=50, seed=4,
+        )
+        assert record.pms_used_series[-1] <= queue_pms + 2
+
+    def test_planned_moves_capped(self):
+        vms, pms = generate_pattern_instance("equal", 50, seed=5)
+        placement = ffd_by_peak(max_vms_per_pm=16).place(vms, pms)
+        record, scheduler = run_with(
+            lambda dc: ReconsolidationScheduler(dc, period=10,
+                                                max_planned_moves=3),
+            vms, pms, placement, n_intervals=21, seed=6,
+        )
+        # two re-plans (t = 10, 20), each at most 3 moves
+        assert scheduler.planned_migrations <= 6
+
+    def test_no_replan_before_period(self):
+        vms, pms = generate_pattern_instance("equal", 30, seed=7)
+        placement = ffd_by_peak(max_vms_per_pm=16).place(vms, pms)
+        record, scheduler = run_with(
+            lambda dc: ReconsolidationScheduler(dc, period=1000),
+            vms, pms, placement, n_intervals=50, seed=8,
+        )
+        assert scheduler.planned_migrations == 0
+
+    def test_reactive_split_consistent(self):
+        vms, pms = generate_pattern_instance("equal", 60, seed=9)
+        placement = ffd_by_base(max_vms_per_pm=16).place(vms, pms)
+        record, scheduler = run_with(
+            lambda dc: ReconsolidationScheduler(dc, period=30),
+            vms, pms, placement, n_intervals=100, seed=10,
+        )
+        reactive = scheduler.reactive_migrations(record.total_migrations)
+        assert reactive >= 0
+        assert reactive + scheduler.planned_migrations == record.total_migrations
+
+    def test_zero_period_invalid(self):
+        vms, pms = generate_pattern_instance("equal", 5, seed=0)
+        placement = ffd_by_peak(max_vms_per_pm=16).place(vms, pms)
+        dc = Datacenter(vms, pms, placement, seed=0)
+        with pytest.raises(ValueError):
+            ReconsolidationScheduler(dc, period=0)

@@ -1,0 +1,116 @@
+"""Tests for repro.simulation.scenario — the high-level facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.queuing_ffd import QueuingFFD
+from repro.placement.ffd import ffd_by_base, ffd_by_peak
+from repro.simulation.costmodel import MigrationCostModel
+from repro.simulation.energy import EnergyModel
+from repro.simulation.scenario import Scenario, ScenarioReport, compare_scenarios
+from repro.simulation.triggers import SlidingWindowCVRTrigger
+from repro.workload.patterns import generate_pattern_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_pattern_instance("equal", 60, seed=11)
+
+
+class TestScenario:
+    def test_basic_run_produces_full_report(self, instance):
+        vms, pms = instance
+        report = Scenario(vms, pms, placer=QueuingFFD(rho=0.01, d=16)).run(
+            50, seed=1
+        )
+        assert isinstance(report, ScenarioReport)
+        assert report.initial_pms_used > 0
+        assert report.record.n_intervals == 50
+        assert 0.0 <= report.mean_cvr <= report.max_cvr <= 1.0
+        assert set(report.fairness) == {"n", "total", "jain", "gini",
+                                        "max_share"}
+        assert report.energy_joules is None
+        assert report.migration_downtime_seconds is None
+        assert report.failures is None
+
+    def test_reproducible(self, instance):
+        vms, pms = instance
+        a = Scenario(vms, pms, placer=ffd_by_base(max_vms_per_pm=16)).run(
+            60, seed=3)
+        b = Scenario(vms, pms, placer=ffd_by_base(max_vms_per_pm=16)).run(
+            60, seed=3)
+        assert a.total_migrations == b.total_migrations
+        np.testing.assert_array_equal(a.record.pms_used_series,
+                                      b.record.pms_used_series)
+
+    def test_cost_model_prices_migrations(self, instance):
+        vms, pms = instance
+        report = Scenario(
+            vms, pms, placer=ffd_by_base(max_vms_per_pm=16),
+            cost_model=MigrationCostModel(),
+        ).run(100, seed=4)
+        assert report.migration_downtime_seconds is not None
+        if report.total_migrations:
+            assert report.migration_downtime_seconds > 0
+
+    def test_energy_accounting(self, instance):
+        vms, pms = instance
+        report = Scenario(
+            vms, pms, placer=QueuingFFD(rho=0.01, d=16),
+            energy_model=EnergyModel(150.0, 300.0), interval_seconds=30.0,
+        ).run(20, seed=5)
+        # >= initial PMs x idle power x 20 intervals x 30 s
+        floor = report.initial_pms_used * 150.0 * 20 * 30.0
+        assert report.energy_joules >= floor * 0.9
+
+    def test_failure_injection(self, instance):
+        vms, pms = instance
+        report = Scenario(
+            vms, pms, placer=QueuingFFD(rho=0.01, d=16),
+            failures={"failure_probability": 0.05, "repair_probability": 0.2},
+        ).run(80, seed=6)
+        assert report.failures is not None
+        assert report.failures.failures > 0
+
+    def test_trigger_forwarded(self, instance):
+        vms, pms = instance
+        report = Scenario(
+            vms, pms, placer=ffd_by_base(max_vms_per_pm=16),
+            trigger=SlidingWindowCVRTrigger(len(pms), rho=0.95, window=20),
+        ).run(100, seed=7)
+        baseline = Scenario(
+            vms, pms, placer=ffd_by_base(max_vms_per_pm=16),
+        ).run(100, seed=7)
+        assert report.total_migrations <= baseline.total_migrations
+
+    def test_summary_is_readable(self, instance):
+        vms, pms = instance
+        report = Scenario(
+            vms, pms, placer=QueuingFFD(rho=0.01, d=16),
+            energy_model=EnergyModel(), failures=True,
+            cost_model=MigrationCostModel(),
+        ).run(30, seed=8)
+        text = report.summary()
+        for token in ("PMs:", "migrations:", "CVR:", "fairness", "energy",
+                      "failures:"):
+            assert token in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario([], [], placer=QueuingFFD())
+
+
+class TestCompareScenarios:
+    def test_shared_randomness_comparison(self, instance):
+        vms, pms = instance
+        reports = compare_scenarios(
+            vms, pms,
+            {"QUEUE": QueuingFFD(rho=0.01, d=16),
+             "RB": ffd_by_base(max_vms_per_pm=16),
+             "RP": ffd_by_peak(max_vms_per_pm=16)},
+            n_intervals=100, seed=9,
+        )
+        assert set(reports) == {"QUEUE", "RB", "RP"}
+        assert reports["RP"].total_migrations == 0
+        assert reports["RB"].total_migrations >= reports["QUEUE"].total_migrations
+        assert reports["RB"].initial_pms_used <= reports["QUEUE"].initial_pms_used

@@ -1,0 +1,59 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 7)) == 7
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            spawn_children(0, -1)
+
+    def test_children_are_independent_streams(self):
+        kids = spawn_children(9, 3)
+        draws = [k.random(4) for k in kids]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible_from_int_seed(self):
+        a = [g.random(3) for g in spawn_children(5, 2)]
+        b = [g.random(3) for g in spawn_children(5, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(1)
+        kids = spawn_children(g, 2)
+        assert len(kids) == 2
+        assert all(isinstance(k, np.random.Generator) for k in kids)

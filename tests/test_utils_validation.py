@@ -1,0 +1,125 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, v):
+        assert check_probability(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.1, 1.1, math.nan])
+    def test_rejects_invalid(self, v):
+        with pytest.raises(ValueError):
+            check_probability(v, "p")
+
+    def test_open_lower_endpoint(self):
+        with pytest.raises(ValueError, match=r"\(0"):
+            check_probability(0.0, "p", allow_zero=False)
+        assert check_probability(1e-9, "p", allow_zero=False) == 1e-9
+
+    def test_open_upper_endpoint(self):
+        with pytest.raises(ValueError, match=r"1\)"):
+            check_probability(1.0, "p", allow_one=False)
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_probability(True, "p")
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="my_prob"):
+            check_probability(2.0, "my_prob")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("v", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects(self, v):
+        with pytest.raises(ValueError):
+            check_positive(v, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_non_negative(math.inf, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range(2.0, "x", 2.0, 3.0) == 2.0
+        assert check_in_range(3.0, "x", 2.0, 3.0) == 3.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.9, "x", 2.0, 3.0)
+        with pytest.raises(ValueError):
+            check_in_range(3.1, "x", 2.0, 3.0)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "n") == 5
+
+    def test_rejects_float_and_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(5.0, "n")
+        with pytest.raises(TypeError):
+            check_integer(True, "n")
+
+    def test_bounds(self):
+        assert check_integer(5, "n", minimum=5, maximum=5) == 5
+        with pytest.raises(ValueError, match=">= 6"):
+            check_integer(5, "n", minimum=6)
+        with pytest.raises(ValueError, match="<= 4"):
+            check_integer(5, "n", maximum=4)
+
+    def test_numpy_integer_accepted(self):
+        import numpy as np
+
+        assert check_integer(np.int64(7), "n") == 7
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        from repro.utils.tables import format_table
+
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out and "0.125" in out
+        assert len(lines) == 4
+
+    def test_format_table_title_and_floatfmt(self):
+        from repro.utils.tables import format_table
+
+        out = format_table(["x"], [[1.23456]], floatfmt=".1f", title="T")
+        assert out.splitlines()[0] == "T"
+        assert "1.2" in out and "1.23" not in out
+
+    def test_format_table_rejects_ragged_rows(self):
+        from repro.utils.tables import format_table
+
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,127 @@
+"""Tests for repro.workload.patterns — instance generators and Table I."""
+
+import numpy as np
+import pytest
+
+from repro.workload.patterns import (
+    PATTERN_RANGES,
+    PM_CAPACITY_RANGE,
+    TABLE_I,
+    USERS_PER_CLASS,
+    generate_pattern_instance,
+    make_pms,
+    table_i_vms,
+)
+
+
+class TestGeneratePatternInstance:
+    @pytest.mark.parametrize("pattern", ["equal", "small", "large"])
+    def test_ranges_respected(self, pattern):
+        vms, pms = generate_pattern_instance(pattern, 200, seed=0)
+        (b_lo, b_hi), (e_lo, e_hi) = PATTERN_RANGES[pattern]
+        for v in vms:
+            assert b_lo <= v.r_base <= b_hi
+            assert e_lo <= v.r_extra <= e_hi
+        lo, hi = PM_CAPACITY_RANGE
+        for p in pms:
+            assert lo <= p.capacity <= hi
+
+    def test_small_pattern_means_small_spikes(self):
+        vms, _ = generate_pattern_instance("small", 100, seed=1)
+        assert all(v.r_base > v.r_extra for v in vms)
+
+    def test_large_pattern_means_large_spikes(self):
+        vms, _ = generate_pattern_instance("large", 100, seed=1)
+        assert all(v.r_base < v.r_extra for v in vms)
+
+    def test_default_pm_count_equals_vm_count(self):
+        vms, pms = generate_pattern_instance("equal", 37, seed=2)
+        assert len(pms) == len(vms) == 37
+
+    def test_custom_pm_count(self):
+        _, pms = generate_pattern_instance("equal", 10, n_pms=3, seed=2)
+        assert len(pms) == 3
+
+    def test_switch_probabilities_default(self):
+        vms, _ = generate_pattern_instance("equal", 5, seed=3)
+        assert all(v.p_on == 0.01 and v.p_off == 0.09 for v in vms)
+
+    def test_custom_probabilities(self):
+        vms, _ = generate_pattern_instance("equal", 5, p_on=0.2, p_off=0.3, seed=3)
+        assert all(v.p_on == 0.2 and v.p_off == 0.3 for v in vms)
+
+    def test_reproducible(self):
+        a, _ = generate_pattern_instance("equal", 10, seed=9)
+        b, _ = generate_pattern_instance("equal", 10, seed=9)
+        assert a == b
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            generate_pattern_instance("huge", 10)
+
+    def test_invalid_capacity_range(self):
+        with pytest.raises(ValueError):
+            generate_pattern_instance("equal", 5, capacity_range=(100.0, 80.0))
+
+
+class TestMakePms:
+    def test_count_and_range(self):
+        pms = make_pms(10, seed=0)
+        assert len(pms) == 10
+        assert all(80 <= p.capacity <= 100 for p in pms)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            make_pms(0)
+
+
+class TestTableI:
+    def test_seven_rows(self):
+        assert len(TABLE_I) == 7
+
+    def test_paper_values(self):
+        # Spot-check rows against the paper's table.
+        rows = {(r.base_class, r.extra_class): r for r in TABLE_I}
+        assert rows[("small", "small")].normal_users == 400
+        assert rows[("small", "small")].peak_users == 800
+        assert rows[("large", "large")].peak_users == 3200
+        assert rows[("medium", "small")].peak_users == 1200
+        assert rows[("small", "medium")].peak_users == 1200
+        assert rows[("medium", "large")].peak_users == 2400
+
+    def test_patterns_consistent_with_classes(self):
+        order = {"small": 0, "medium": 1, "large": 2}
+        for r in TABLE_I:
+            if r.pattern == "equal":
+                assert order[r.base_class] == order[r.extra_class]
+            elif r.pattern == "small":
+                assert order[r.base_class] > order[r.extra_class]
+            else:
+                assert order[r.base_class] < order[r.extra_class]
+
+    def test_peak_is_base_plus_extra_users(self):
+        for r in TABLE_I:
+            assert r.peak_users == r.normal_users + USERS_PER_CLASS[r.extra_class]
+
+
+class TestTableIVms:
+    @pytest.mark.parametrize("pattern", ["equal", "small", "large"])
+    def test_specs_come_from_table_rows(self, pattern):
+        vms = table_i_vms(pattern, 100, seed=0)
+        valid = {
+            (r.normal_users / 100.0, (r.peak_users - r.normal_users) / 100.0)
+            for r in TABLE_I if r.pattern == pattern
+        }
+        assert all((v.r_base, v.r_extra) in valid for v in vms)
+
+    def test_scaling(self):
+        vms = table_i_vms("equal", 50, users_per_resource_unit=200.0, seed=0)
+        assert all(v.r_base in {2.0, 4.0, 8.0} for v in vms)
+
+    def test_all_rows_eventually_sampled(self):
+        vms = table_i_vms("equal", 500, seed=1)
+        assert len({v.r_base for v in vms}) == 3  # three equal-pattern rows
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            table_i_vms("weird", 5)

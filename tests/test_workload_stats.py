@@ -1,0 +1,106 @@
+"""Tests for repro.workload.stats — burstiness statistics."""
+
+import numpy as np
+import pytest
+
+from repro.markov.onoff import OnOffChain
+from repro.workload.stats import (
+    burst_lengths,
+    empirical_autocorrelation,
+    index_of_dispersion,
+    mean_burst_length,
+    peak_to_mean_ratio,
+)
+
+
+class TestIndexOfDispersion:
+    def test_constant_trace_is_zero(self):
+        assert index_of_dispersion(np.full(100, 5.0)) == 0.0
+
+    def test_all_zero(self):
+        assert index_of_dispersion(np.zeros(10)) == 0.0
+
+    def test_poisson_is_near_one(self):
+        counts = np.random.default_rng(0).poisson(20.0, 100_000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_bursty_exceeds_one(self):
+        trace = np.concatenate([np.full(900, 1.0), np.full(100, 100.0)])
+        assert index_of_dispersion(trace) > 1.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.ones((2, 2)))
+
+
+class TestPeakToMean:
+    def test_constant(self):
+        assert peak_to_mean_ratio(np.full(5, 3.0)) == 1.0
+
+    def test_spiky(self):
+        assert peak_to_mean_ratio(np.array([1.0, 1.0, 10.0])) == pytest.approx(10 / 4)
+
+    def test_all_zero(self):
+        assert peak_to_mean_ratio(np.zeros(4)) == 0.0
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        trace = np.random.default_rng(1).random(100)
+        acf = empirical_autocorrelation(trace, 5)
+        assert acf[0] == 1.0
+
+    def test_constant_trace_returns_zero_beyond_lag0(self):
+        acf = empirical_autocorrelation(np.full(50, 2.0), 3)
+        np.testing.assert_array_equal(acf[1:], 0.0)
+
+    def test_matches_theory_for_onoff(self):
+        chain = OnOffChain(0.05, 0.15)
+        traj = chain.simulate(500_000, seed=0)
+        acf = empirical_autocorrelation(traj.astype(float), 5)
+        lam = 1 - 0.05 - 0.15
+        for lag in range(1, 6):
+            assert acf[lag] == pytest.approx(lam**lag, abs=0.02)
+
+    def test_white_noise_decorrelated(self):
+        trace = np.random.default_rng(2).normal(size=100_000)
+        acf = empirical_autocorrelation(trace, 3)
+        assert abs(acf[1]) < 0.02
+
+    def test_max_lag_validation(self):
+        with pytest.raises(ValueError):
+            empirical_autocorrelation(np.ones(5), 5)
+        with pytest.raises(ValueError):
+            empirical_autocorrelation(np.ones(5), -1)
+
+
+class TestBurstLengths:
+    def test_simple_runs(self):
+        s = np.array([0, 1, 1, 0, 1, 0, 1, 1, 1])
+        np.testing.assert_array_equal(burst_lengths(s), [2, 1, 3])
+
+    def test_no_bursts(self):
+        assert burst_lengths(np.zeros(5, dtype=int)).size == 0
+
+    def test_all_on(self):
+        np.testing.assert_array_equal(burst_lengths(np.ones(7, dtype=int)), [7])
+
+    def test_boundary_runs_counted(self):
+        np.testing.assert_array_equal(
+            burst_lengths(np.array([1, 1, 0, 0, 1])), [2, 1]
+        )
+
+    def test_empty(self):
+        assert burst_lengths(np.empty(0)).size == 0
+
+    def test_mean_burst_length_geometric(self):
+        chain = OnOffChain(0.02, 0.1)
+        traj = chain.simulate(500_000, seed=3)
+        assert mean_burst_length(traj) == pytest.approx(10.0, rel=0.05)
+
+    def test_mean_burst_length_no_bursts(self):
+        assert mean_burst_length(np.zeros(10)) == 0.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            burst_lengths(np.ones((2, 2)))
