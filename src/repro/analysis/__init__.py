@@ -6,8 +6,16 @@
   (PMs used, consolidation-ratio improvements the abstract quotes).
 - :mod:`repro.analysis.report` — experiment result containers and text
   rendering shared by the benchmark harness.
+- :mod:`repro.analysis.availability` — per-VM availability ("nines"),
+  MTTR and blast-radius statistics from failure-injected runs.
 """
 
+from repro.analysis.availability import (
+    availability_report,
+    blast_radius_stats,
+    mean_time_to_repair,
+    nines,
+)
 from repro.analysis.consolidation import (
     consolidation_ratio,
     pm_reduction_percent,
@@ -29,6 +37,10 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "availability_report",
+    "blast_radius_stats",
+    "mean_time_to_repair",
+    "nines",
     "fairness_report",
     "gini_coefficient",
     "jains_index",

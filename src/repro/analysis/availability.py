@@ -1,0 +1,119 @@
+"""Availability metrics: nines, MTTR, and blast-radius distributions.
+
+The consolidation literature scores packings by PMs used and CVR; a
+production operator also asks *what happens when hardware dies*.  This
+module turns the simulator's failure accounting
+(:class:`~repro.simulation.monitor.RunRecord` per-VM downtime counters and
+:class:`~repro.simulation.failures.FailureRecord` event lists) into the
+standard reliability vocabulary:
+
+- **per-VM availability** — fraction of intervals each VM received service,
+  and its "nines" transform (0.999 -> 3 nines);
+- **MTTR** — mean time to repair a failed PM, in intervals;
+- **blast radius** — VMs resident on the hardware of each failure event,
+  the quantity dense packing silently inflates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # type-only: avoids an analysis <-> simulation import cycle
+    from repro.simulation.failures import FailureRecord
+    from repro.simulation.monitor import RunRecord
+
+#: availability == 1.0 reports this many nines (log10 would be infinite)
+MAX_NINES = 9.0
+
+
+def nines(availability: float) -> float:
+    """The "nines" transform ``-log10(1 - a)``, capped at :data:`MAX_NINES`.
+
+    ``0.99 -> 2.0``, ``0.999 -> 3.0``; perfect availability returns the cap
+    so aggregate statistics stay finite.
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError(f"availability must be in [0, 1], got {availability}")
+    if availability >= 1.0:
+        return MAX_NINES
+    return min(MAX_NINES, -math.log10(1.0 - availability))
+
+
+def mean_time_to_repair(repair_durations: Sequence[int]) -> float:
+    """Mean PM repair time in intervals; NaN when nothing was repaired."""
+    if not repair_durations:
+        return float("nan")
+    return float(np.mean(repair_durations))
+
+
+def blast_radius_stats(blast_radii: Sequence[int]) -> dict[str, float]:
+    """Distribution summary of per-failure-event blast radii.
+
+    Keys: ``events``, ``mean``, ``max``, ``p95``, ``total_vms_hit`` — all
+    zero when no failure event occurred.
+    """
+    if not blast_radii:
+        return {"events": 0.0, "mean": 0.0, "max": 0.0, "p95": 0.0,
+                "total_vms_hit": 0.0}
+    x = np.asarray(blast_radii, dtype=float)
+    if np.any(x < 0):
+        raise ValueError("blast radii must be non-negative")
+    return {
+        "events": float(x.size),
+        "mean": float(x.mean()),
+        "max": float(x.max()),
+        "p95": float(np.percentile(x, 95)),
+        "total_vms_hit": float(x.sum()),
+    }
+
+
+def availability_report(record: RunRecord,
+                        failures: FailureRecord | None = None,
+                        ) -> dict[str, float]:
+    """One flat dict of availability metrics for a run.
+
+    Parameters
+    ----------
+    record:
+        Run summary with per-VM downtime counters (monitor built with
+        ``n_vms``).
+    failures:
+        Optional failure-injector record adding MTTR and blast-radius
+        statistics.
+
+    Returns
+    -------
+    dict
+        ``mean_availability``, ``min_availability``, ``mean_nines``,
+        ``worst_nines``, ``degraded_fraction`` (mean over VMs), plus —
+        when ``failures`` is given — ``mttr_intervals``, ``failures``,
+        ``domain_failures`` and ``blast_*`` distribution keys.
+    """
+    avail = record.vm_availability()
+    degraded = record.vm_degraded_fraction()
+    if avail.size:
+        report = {
+            "mean_availability": float(avail.mean()),
+            "min_availability": float(avail.min()),
+            "mean_nines": float(np.mean([nines(float(a)) for a in avail])),
+            "worst_nines": nines(float(avail.min())),
+            "degraded_fraction": float(degraded.mean()) if degraded.size else 0.0,
+        }
+    else:
+        report = {
+            "mean_availability": 1.0,
+            "min_availability": 1.0,
+            "mean_nines": MAX_NINES,
+            "worst_nines": MAX_NINES,
+            "degraded_fraction": 0.0,
+        }
+    if failures is not None:
+        report["failures"] = float(failures.failures)
+        report["domain_failures"] = float(failures.domain_failures)
+        report["mttr_intervals"] = mean_time_to_repair(failures.repair_durations)
+        for key, value in blast_radius_stats(failures.blast_radii).items():
+            report[f"blast_{key}"] = value
+    return report

@@ -27,6 +27,7 @@ from repro.core.rounding import RoundingRule, round_switch_probabilities
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.markov.chain import StationaryMethod
 from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.spread import DomainSpreadConstraint
 from repro.utils.validation import check_integer, check_probability
 
 ClusterMethod = Literal["binning", "kmeans", "none"]
@@ -52,6 +53,10 @@ class QueuingFFD(Placer):
         (Section IV-E); ignored when they are already uniform.
     stationary_method:
         Stationary-distribution solver passed through to MapCal.
+    spread:
+        Optional :class:`~repro.placement.spread.DomainSpreadConstraint`
+        capping VMs per fault domain on top of the Eq. (17) feasibility
+        test (blast-radius control).
     """
 
     name = "QUEUE"
@@ -59,7 +64,8 @@ class QueuingFFD(Placer):
     def __init__(self, rho: float = 0.01, d: int = 16, *, n_clusters: int = 10,
                  cluster_method: ClusterMethod = "binning",
                  rounding_rule: RoundingRule = "mean",
-                 stationary_method: StationaryMethod = "linear"):
+                 stationary_method: StationaryMethod = "linear",
+                 spread: DomainSpreadConstraint | None = None):
         self.rho = check_probability(rho, "rho")
         self.d = check_integer(d, "d", minimum=1)
         self.n_clusters = check_integer(n_clusters, "n_clusters", minimum=1)
@@ -68,6 +74,7 @@ class QueuingFFD(Placer):
         self.cluster_method = cluster_method
         self.rounding_rule: RoundingRule = rounding_rule
         self.stationary_method: StationaryMethod = stationary_method
+        self.spread = spread
         self._mapping_cache: dict[tuple[float, float], BlockMapping] = {}
 
     # ------------------------------------------------------------------ #
@@ -138,6 +145,10 @@ class QueuingFFD(Placer):
         counts = np.zeros(m, dtype=np.int64)
         base_sums = np.zeros(m, dtype=float)
         max_extras = np.zeros(m, dtype=float)
+        domain_counts = None
+        if self.spread is not None:
+            self.spread.check_n_pms(m)
+            domain_counts = self.spread.new_counts()
         table = mapping.table  # table[k] = blocks for k VMs
         order = self.order_vms(vms)
         for vm_idx in order:
@@ -151,6 +162,8 @@ class QueuingFFD(Placer):
                 + base_sums + vm.r_base
             )
             eligible &= need <= caps + 1e-9
+            if self.spread is not None:
+                eligible &= self.spread.allowed_pms(domain_counts)
             hit = np.flatnonzero(eligible)
             if hit.size == 0:
                 raise InsufficientCapacityError(vm_idx)
@@ -158,6 +171,8 @@ class QueuingFFD(Placer):
             counts[pm_idx] += 1
             base_sums[pm_idx] += vm.r_base
             max_extras[pm_idx] = max(max_extras[pm_idx], vm.r_extra)
+            if self.spread is not None:
+                self.spread.admit(pm_idx, domain_counts)
             placement.place(vm_idx, pm_idx)
         # Materialize the reservation states from the final assignment.
         states = [PMReservationState(spec=p, mapping=mapping) for p in pms]
@@ -175,13 +190,22 @@ class QueuingFFD(Placer):
             return placement, []
         mapping = self.mapping_for(vms)
         states = [PMReservationState(spec=p, mapping=mapping) for p in pms]
+        domain_counts = None
+        if self.spread is not None:
+            self.spread.check_n_pms(len(pms))
+            domain_counts = self.spread.new_counts()
         for vm_idx in self.order_vms(vms):
             vm_idx = int(vm_idx)
             vm = vms[vm_idx]
             for pm_idx, state in enumerate(states):
+                if self.spread is not None and not bool(
+                        self.spread.allowed_pms(domain_counts)[pm_idx]):
+                    continue
                 if state.fits(vm):
                     state.add(vm_idx, vm)
                     placement.place(vm_idx, pm_idx)
+                    if self.spread is not None:
+                        self.spread.admit(pm_idx, domain_counts)
                     break
             else:
                 raise InsufficientCapacityError(vm_idx)

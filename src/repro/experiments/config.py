@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.queuing_ffd import QueuingFFD
 from repro.placement.base import Placer

@@ -9,7 +9,6 @@ and a coarse time series.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.report import ExperimentResult
 from repro.experiments.config import DEFAULT_SETTINGS, ExperimentSettings

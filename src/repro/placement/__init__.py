@@ -9,6 +9,8 @@
 - :mod:`repro.placement.sbp` — stochastic bin packing with normal
   approximation ("effective size"), the related-work baseline of
   [Wang et al. INFOCOM'11] style used for the ablation comparison.
+- :mod:`repro.placement.spread` — fault-domain spread constraint capping
+  VMs per rack/power domain (blast-radius control).
 - :mod:`repro.placement.validation` — placement validity checks shared by
   tests and the simulator.
 """
@@ -29,6 +31,7 @@ from repro.placement.optimal import (
 )
 from repro.placement.rbex import RBExPlacer
 from repro.placement.sbp import StochasticBinPacker
+from repro.placement.spread import DomainSpreadConstraint
 from repro.placement.validation import (
     check_capacity_at_base,
     check_capacity_at_peak,
@@ -49,6 +52,7 @@ __all__ = [
     "lower_bound_l2",
     "RBExPlacer",
     "StochasticBinPacker",
+    "DomainSpreadConstraint",
     "check_capacity_at_base",
     "check_capacity_at_peak",
     "check_placement_complete",

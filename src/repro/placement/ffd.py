@@ -10,7 +10,9 @@ scalar size:
 
 Best-fit, worst-fit and next-fit variants are included for the packing
 ablation benchmarks.  All placers cap the number of VMs per PM at ``d`` to
-match Algorithm 2's assumption and keep comparisons fair.
+match Algorithm 2's assumption and keep comparisons fair.  An optional
+:class:`~repro.placement.spread.DomainSpreadConstraint` additionally caps
+VMs per fault domain (blast-radius control).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import numpy as np
 
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.spread import DomainSpreadConstraint
 from repro.utils.validation import check_integer
 
 SizeFn = Callable[[VMSpec], float]
@@ -46,10 +49,13 @@ class _GreedyPlacer(Placer):
     """
 
     def __init__(self, size_fn: SizeFn = size_by_peak, *, max_vms_per_pm: int = 10**9,
-                 decreasing: bool = True, name: str | None = None):
+                 decreasing: bool = True, name: str | None = None,
+                 spread: DomainSpreadConstraint | None = None):
         self.size_fn = size_fn
         self.max_vms_per_pm = check_integer(max_vms_per_pm, "max_vms_per_pm", minimum=1)
         self.decreasing = decreasing
+        self.spread = spread
+        self._domain_counts: np.ndarray | None = None
         if name is not None:
             self.name = name
 
@@ -58,6 +64,9 @@ class _GreedyPlacer(Placer):
         sizes = np.array([self.size_fn(v) for v in vms], dtype=float)
         if np.any(sizes < 0):
             raise ValueError("VM sizes must be non-negative")
+        if self.spread is not None:
+            self.spread.check_n_pms(len(pms))
+            self._domain_counts = self.spread.new_counts()
         order = np.argsort(-sizes, kind="stable") if self.decreasing else np.arange(len(vms))
         free = np.array([p.capacity for p in pms], dtype=float)
         counts = np.zeros(len(pms), dtype=np.int64)
@@ -70,10 +79,15 @@ class _GreedyPlacer(Placer):
             placement.place(vm_idx, pm)
             free[pm] -= size
             counts[pm] += 1
+            if self.spread is not None:
+                self.spread.admit(pm, self._domain_counts)
         return placement
 
     def _candidates(self, size: float, free: np.ndarray, counts: np.ndarray) -> np.ndarray:
-        return np.flatnonzero((free + _EPS >= size) & (counts < self.max_vms_per_pm))
+        ok = (free + _EPS >= size) & (counts < self.max_vms_per_pm)
+        if self.spread is not None:
+            ok &= self.spread.allowed_pms(self._domain_counts)
+        return np.flatnonzero(ok)
 
     def _pick_pm(self, size: float, free: np.ndarray, counts: np.ndarray) -> int | None:
         raise NotImplementedError
@@ -119,9 +133,10 @@ class NextFit(_GreedyPlacer):
     name = "NF"
 
     def __init__(self, size_fn: SizeFn = size_by_peak, *, max_vms_per_pm: int = 10**9,
-                 name: str | None = None):
+                 name: str | None = None,
+                 spread: DomainSpreadConstraint | None = None):
         super().__init__(size_fn, max_vms_per_pm=max_vms_per_pm, decreasing=False,
-                         name=name)
+                         name=name, spread=spread)
         self._open = 0
 
     def place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
@@ -131,18 +146,24 @@ class NextFit(_GreedyPlacer):
     def _pick_pm(self, size: float, free: np.ndarray, counts: np.ndarray) -> int | None:
         while self._open < free.size:
             fits = (free[self._open] + _EPS >= size
-                    and counts[self._open] < self.max_vms_per_pm)
+                    and counts[self._open] < self.max_vms_per_pm
+                    and (self.spread is None
+                         or self.spread.allowed_pms(self._domain_counts)[self._open]))
             if fits:
                 return self._open
             self._open += 1
         return None
 
 
-def ffd_by_peak(*, max_vms_per_pm: int = 10**9) -> FirstFitDecreasing:
+def ffd_by_peak(*, max_vms_per_pm: int = 10**9,
+                spread: DomainSpreadConstraint | None = None) -> FirstFitDecreasing:
     """The paper's **RP** baseline: FFD sizing every VM at ``R_p``."""
-    return FirstFitDecreasing(size_by_peak, max_vms_per_pm=max_vms_per_pm, name="RP")
+    return FirstFitDecreasing(size_by_peak, max_vms_per_pm=max_vms_per_pm,
+                              name="RP", spread=spread)
 
 
-def ffd_by_base(*, max_vms_per_pm: int = 10**9) -> FirstFitDecreasing:
+def ffd_by_base(*, max_vms_per_pm: int = 10**9,
+                spread: DomainSpreadConstraint | None = None) -> FirstFitDecreasing:
     """The paper's **RB** baseline: FFD sizing every VM at ``R_b``."""
-    return FirstFitDecreasing(size_by_base, max_vms_per_pm=max_vms_per_pm, name="RB")
+    return FirstFitDecreasing(size_by_base, max_vms_per_pm=max_vms_per_pm,
+                              name="RB", spread=spread)

@@ -1,0 +1,70 @@
+"""Fault-domain spread constraint: cap VMs per rack / power domain.
+
+Dense packing concentrates blast radius — a rack outage under an
+unconstrained QueuingFFD placement can take out every VM the rack's PMs
+host.  :class:`DomainSpreadConstraint` bounds that exposure: no fault
+domain may host more than ``max_vms_per_domain`` VMs, regardless of how
+much Eq. (17)-feasible room its PMs still have.
+
+The constraint composes with the placers' own admission rules: the greedy
+bin packers (:mod:`repro.placement.ffd`) and the burstiness-aware
+:class:`~repro.core.queuing_ffd.QueuingFFD` both accept a ``spread``
+argument and simply mask out PMs whose domain is at cap during their
+first-fit scan.  Tightening the cap trades PMs used (packing density)
+against worst-case blast radius; ``bench_ablation_faultdomains`` measures
+the exchange rate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+if TYPE_CHECKING:  # type-only: placement must not import the simulator
+    from repro.simulation.topology import Topology
+
+
+class DomainSpreadConstraint:
+    """Cap on VMs per fault domain, enforced during placement.
+
+    Parameters
+    ----------
+    topology:
+        PM -> fault-domain map (:class:`~repro.simulation.topology.Topology`).
+    max_vms_per_domain:
+        Hard per-domain VM cap; also the worst-case blast radius of one
+        domain outage at placement time.
+    """
+
+    def __init__(self, topology: "Topology", max_vms_per_domain: int):
+        self.topology = topology
+        self.max_vms_per_domain = check_integer(
+            max_vms_per_domain, "max_vms_per_domain", minimum=1
+        )
+
+    def new_counts(self) -> np.ndarray:
+        """Fresh per-domain VM counters for one placement pass."""
+        return np.zeros(self.topology.n_domains, dtype=np.int64)
+
+    def allowed_pms(self, domain_counts: np.ndarray) -> np.ndarray:
+        """Boolean PM mask: True where the PM's domain is below cap."""
+        return domain_counts[self.topology.domain_of] < self.max_vms_per_domain
+
+    def admit(self, pm_id: int, domain_counts: np.ndarray) -> None:
+        """Count one VM placed on ``pm_id`` against its domain."""
+        domain_counts[self.topology.domain_of[pm_id]] += 1
+
+    def check_n_pms(self, n_pms: int) -> None:
+        """Raise unless the topology covers exactly ``n_pms`` PMs."""
+        if self.topology.n_pms != n_pms:
+            raise ValueError(
+                f"spread topology covers {self.topology.n_pms} PMs "
+                f"but instance has {n_pms}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<DomainSpreadConstraint cap={self.max_vms_per_domain} "
+                f"over {self.topology.n_domains} domains>")

@@ -19,7 +19,9 @@ from repro.simulation.energy import EnergyModel
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.migration import (
     MigrationEvent,
+    MigrationExecutor,
     MigrationPolicy,
+    RetryPolicy,
     select_target_least_loaded,
     select_target_most_free,
     select_target_reservation_aware,
@@ -30,6 +32,7 @@ from repro.simulation.monitor import Monitor, RunRecord
 from repro.simulation.scheduler import DynamicScheduler, SimulationResult, run_simulation
 from repro.simulation.arrivals import DynamicFleetRecord, DynamicFleetSimulator
 from repro.simulation.failures import FailureInjector, FailureRecord
+from repro.simulation.topology import Topology
 from repro.simulation.reconsolidation import ReconsolidationScheduler
 from repro.simulation.scenario import Scenario, ScenarioReport, compare_scenarios
 from repro.simulation.costmodel import (
@@ -44,6 +47,7 @@ __all__ = [
     "DynamicFleetSimulator",
     "FailureInjector",
     "FailureRecord",
+    "Topology",
     "ReconsolidationScheduler",
     "Scenario",
     "ScenarioReport",
@@ -59,7 +63,9 @@ __all__ = [
     "EnergyModel",
     "SimulationEngine",
     "MigrationEvent",
+    "MigrationExecutor",
     "MigrationPolicy",
+    "RetryPolicy",
     "select_target_least_loaded",
     "select_target_most_free",
     "select_target_reservation_aware",

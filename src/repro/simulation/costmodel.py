@@ -118,9 +118,11 @@ class CostedScheduler(DynamicScheduler):
 
     def __init__(self, dc: Datacenter, policy: MigrationPolicy | None = None,
                  *, cost_model: MigrationCostModel | None = None,
-                 max_migrations_per_interval: int = 1000):
+                 max_migrations_per_interval: int = 1000,
+                 **scheduler_kwargs):
         super().__init__(dc, policy,
-                         max_migrations_per_interval=max_migrations_per_interval)
+                         max_migrations_per_interval=max_migrations_per_interval,
+                         **scheduler_kwargs)
         self.cost_model = cost_model or MigrationCostModel()
         self.account = MigrationAccount()
         self._in_flight: list[_InFlight] = []

@@ -11,7 +11,7 @@ scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -23,15 +23,18 @@ _EPS = 1e-9
 
 @dataclass
 class VMRuntime:
-    """A VM's live state: its spec and whether it is currently spiking."""
+    """A VM's live state: its spec, spike state, and degradation flag."""
 
     spec: VMSpec
     on: bool = False
+    #: when True the VM is served at ``R_b`` only (graceful degradation);
+    #: its spike demand is shed instead of charged to the host PM
+    throttled: bool = False
 
     @property
     def demand(self) -> float:
         """Current resource demand (local resizing keeps allocation == demand)."""
-        return self.spec.demand(self.on)
+        return self.spec.r_base if self.throttled else self.spec.demand(self.on)
 
 
 @dataclass
@@ -85,6 +88,7 @@ class Datacenter:
         self._r_base = np.array([v.r_base for v in vms])
         self._r_extra = np.array([v.r_extra for v in vms])
         self._on = np.zeros(len(vms), dtype=bool)
+        self._throttled = np.zeros(len(vms), dtype=bool)
         if start_stationary and len(vms):
             q = self._p_on / (self._p_on + self._p_off)
             self._on = self._rng.random(len(vms)) < q
@@ -115,7 +119,15 @@ class Datacenter:
         return len(self.pms)
 
     def vm_demands(self) -> np.ndarray:
-        """Current demand of every VM (vectorized)."""
+        """Current *served* demand of every VM (vectorized).
+
+        A throttled VM is served at ``R_b`` regardless of its ON/OFF state
+        (graceful degradation); see :meth:`set_throttle`.
+        """
+        return self._r_base + self._r_extra * (self._on & ~self._throttled)
+
+    def vm_full_demands(self) -> np.ndarray:
+        """Demand every VM *wants* right now, ignoring throttling."""
         return self._r_base + self._r_extra * self._on
 
     def pm_load(self, pm_id: int) -> float:
@@ -145,9 +157,21 @@ class Datacenter:
         np.add.at(loads, self.placement.assignment, self._r_base)
         return loads
 
+    @property
+    def throttled(self) -> np.ndarray:
+        """Copy of the per-VM degradation mask."""
+        return self._throttled.copy()
+
     # ------------------------------------------------------------------ #
     # mutation (used by the scheduler)
     # ------------------------------------------------------------------ #
+    def set_throttle(self, vm_id: int, throttled: bool) -> None:
+        """Mark VM ``vm_id`` as degraded (served at ``R_b``) or restored."""
+        if not 0 <= vm_id < self.n_vms:
+            raise ValueError(f"vm_id must be in [0, {self.n_vms}), got {vm_id}")
+        self._throttled[vm_id] = bool(throttled)
+        self.vms[vm_id].throttled = bool(throttled)
+
     def migrate(self, vm_id: int, target_pm: int) -> int:
         """Move VM ``vm_id`` to ``target_pm``; returns the source PM."""
         src = self.placement.migrate(vm_id, target_pm)

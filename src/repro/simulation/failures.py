@@ -1,19 +1,28 @@
-"""Failure injection: PM crashes and recovery.
+"""Failure injection: PM crashes, correlated domain outages, and recovery.
 
 Consolidation density interacts with fault tolerance: the tighter the
 packing, the more VMs a single PM failure strands and the harder the
-emergency evacuation.  This module injects PM failures into a run:
+emergency evacuation.  This module injects failures into a run:
 
 - each interval, every powered-on PM fails independently with
   ``failure_probability``;
+- when a :class:`~repro.simulation.topology.Topology` is attached, whole
+  fault domains (racks / power feeds) fail *together* with
+  ``domain_failure_probability`` — the correlated events that dominate real
+  outages and that independent per-PM models understate;
 - a failed PM's VMs must be *evacuated* — re-placed immediately on healthy
-  PMs by first fit over current demand; VMs that fit nowhere are counted as
-  ``stranded`` for that interval (they retry next interval);
-- a failed PM recovers after a geometric repair time and rejoins the pool.
+  PMs by first fit over current demand; when a VM fits nowhere at full
+  demand it is **degraded**: throttled to its base demand ``R_b`` and placed
+  wherever that fits (``degrade_stranded``).  Only VMs that fit nowhere even
+  at ``R_b`` are counted as ``stranded`` for that interval (they retry next
+  interval);
+- a failed PM recovers after a geometric repair time once its domain is
+  healthy again; a failed domain recovers with ``domain_repair_probability``.
 
 :class:`FailureInjector` plugs into the engine alongside the scheduler; the
-`evacuations` / `stranded_vm_intervals` counters quantify the resilience
-cost of each packing strategy.
+:class:`FailureRecord` counters — evacuations, degraded/stranded VM
+intervals, per-event blast radii, repair durations — quantify the resilience
+cost of each packing strategy (see :mod:`repro.analysis.availability`).
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.simulation.datacenter import Datacenter
+from repro.simulation.topology import Topology
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability
 
@@ -38,19 +48,44 @@ class FailureRecord:
     evacuations: int = 0
     stranded_vm_intervals: int = 0
     failed_intervals: int = 0  # PM-intervals spent down
+    #: correlated domain-level outage events (0 without a topology)
+    domain_failures: int = 0
+    #: evacuations that only succeeded at degraded (R_b) service
+    degraded_evacuations: int = 0
+    #: degraded VMs restored to full service
+    restorations: int = 0
+    #: VM-intervals served at R_b instead of full demand
+    degraded_vm_intervals: int = 0
+    #: VMs resident on the failed hardware of each crash event
+    blast_radii: list[int] = field(default_factory=list)
+    #: completed PM repair times, in intervals (MTTR raw data)
+    repair_durations: list[int] = field(default_factory=list)
 
 
 class FailureInjector:
-    """Random PM failures with evacuation and repair.
+    """Random PM failures (independent and domain-correlated) with repair.
 
     Parameters
     ----------
     dc:
         The datacenter under test.
     failure_probability:
-        Per-interval, per-powered-on-PM crash probability.
+        Per-interval, per-powered-on-PM independent crash probability.
     repair_probability:
-        Per-interval probability a failed PM comes back.
+        Per-interval probability a failed PM comes back (only once its
+        fault domain, if any, is healthy).
+    topology:
+        Optional PM -> fault-domain map enabling correlated outages.
+    domain_failure_probability:
+        Per-interval, per-healthy-domain probability the whole domain
+        fails at once (requires ``topology``).
+    domain_repair_probability:
+        Per-interval probability a failed domain's power/network is
+        restored; its PMs then repair individually.
+    degrade_stranded:
+        When a VM fits nowhere at full demand during evacuation, throttle
+        it to ``R_b`` and place it wherever the base demand fits (graceful
+        degradation) instead of leaving it stranded on dead hardware.
     seed:
         RNG seed material.
 
@@ -58,12 +93,17 @@ class FailureInjector:
     -----
     A failed PM is modelled by excluding it from target selection and
     evacuating its VMs; VMs still assigned to a failed PM (evacuation
-    impossible) are "stranded" — their demand is *not* served, which is the
-    availability cost being measured.
+    impossible even degraded) are "stranded" — their demand is *not*
+    served, which is the availability cost being measured.
     """
 
     def __init__(self, dc: Datacenter, *, failure_probability: float = 0.002,
-                 repair_probability: float = 0.1, seed: SeedLike = None):
+                 repair_probability: float = 0.1,
+                 topology: Topology | None = None,
+                 domain_failure_probability: float = 0.0,
+                 domain_repair_probability: float = 0.1,
+                 degrade_stranded: bool = True,
+                 seed: SeedLike = None):
         self.dc = dc
         self.failure_probability = check_probability(
             failure_probability, "failure_probability"
@@ -71,33 +111,75 @@ class FailureInjector:
         self.repair_probability = check_probability(
             repair_probability, "repair_probability"
         )
+        self.domain_failure_probability = check_probability(
+            domain_failure_probability, "domain_failure_probability"
+        )
+        self.domain_repair_probability = check_probability(
+            domain_repair_probability, "domain_repair_probability"
+        )
+        if topology is not None and topology.n_pms != dc.n_pms:
+            raise ValueError(
+                f"topology covers {topology.n_pms} PMs but datacenter has {dc.n_pms}"
+            )
+        if topology is None and domain_failure_probability > 0.0:
+            raise ValueError(
+                "domain_failure_probability > 0 requires a topology"
+            )
+        self.topology = topology
+        self.degrade_stranded = degrade_stranded
         self._rng = as_generator(seed)
         self.failed = np.zeros(dc.n_pms, dtype=bool)
+        self.domain_failed = (
+            np.zeros(topology.n_domains, dtype=bool) if topology is not None
+            else np.zeros(0, dtype=bool)
+        )
         self.record = FailureRecord()
         self._stranded: set[int] = set()
+        self._degraded: set[int] = set()
+        self._down_since = np.full(dc.n_pms, -1, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     def _evacuate(self, pm_id: int) -> None:
-        """First-fit the failed PM's VMs onto healthy PMs (by current demand)."""
+        """First-fit the failed PM's VMs onto healthy PMs (by current demand).
+
+        VMs that fit nowhere at full demand are throttled to ``R_b`` and
+        retried (graceful degradation) when ``degrade_stranded`` is set;
+        only if even that fails is the VM stranded.
+        """
         vm_ids = sorted(self.dc.pms[pm_id].vm_ids)
         demands = self.dc.vm_demands()
         caps = np.array([p.spec.capacity for p in self.dc.pms])
         loads = self.dc.pm_loads()
         for vm_id in vm_ids:
-            placed = False
-            for cand in np.argsort(loads):
-                cand = int(cand)
-                if cand == pm_id or self.failed[cand]:
-                    continue
-                if loads[cand] + demands[vm_id] <= caps[cand] + _EPS:
-                    self.dc.migrate(vm_id, cand)
-                    loads[cand] += demands[vm_id]
-                    loads[pm_id] -= demands[vm_id]
-                    self.record.evacuations += 1
-                    placed = True
-                    break
-            if not placed:
-                self._stranded.add(vm_id)
+            if self._place_off(vm_id, pm_id, float(demands[vm_id]),
+                               caps, loads):
+                continue
+            base = self.dc.vms[vm_id].spec.r_base
+            if (self.degrade_stranded and base < demands[vm_id] - _EPS
+                    and self._place_off(vm_id, pm_id, base, caps, loads,
+                                        degrade=True)):
+                continue
+            self._stranded.add(vm_id)
+
+    def _place_off(self, vm_id: int, pm_id: int, demand: float,
+                   caps: np.ndarray, loads: np.ndarray, *,
+                   degrade: bool = False) -> bool:
+        """Try to move ``vm_id`` off ``pm_id`` at ``demand``; updates loads."""
+        for cand in np.argsort(loads):
+            cand = int(cand)
+            if cand == pm_id or self.failed[cand]:
+                continue
+            if loads[cand] + demand <= caps[cand] + _EPS:
+                if degrade:
+                    self.dc.set_throttle(vm_id, True)
+                    self._degraded.add(vm_id)
+                    self.record.degraded_evacuations += 1
+                self.dc.migrate(vm_id, cand)
+                loads[cand] += demand
+                loads[pm_id] -= demand
+                self.record.evacuations += 1
+                return True
+        return False
 
     def _retry_stranded(self) -> None:
         if not self._stranded:
@@ -110,41 +192,116 @@ class FailureInjector:
             if not self.failed[src]:
                 self._stranded.discard(vm_id)  # host recovered under it
                 continue
-            for cand in np.argsort(loads):
-                cand = int(cand)
-                if self.failed[cand] or cand == src:
-                    continue
-                if loads[cand] + demands[vm_id] <= caps[cand] + _EPS:
-                    self.dc.migrate(vm_id, cand)
-                    loads[cand] += demands[vm_id]
-                    self.record.evacuations += 1
-                    self._stranded.discard(vm_id)
-                    break
+            if self._place_off(vm_id, src, float(demands[vm_id]), caps, loads):
+                self._stranded.discard(vm_id)
+                continue
+            base = self.dc.vms[vm_id].spec.r_base
+            if (self.degrade_stranded and base < demands[vm_id] - _EPS
+                    and self._place_off(vm_id, src, base, caps, loads,
+                                        degrade=True)):
+                self._stranded.discard(vm_id)
+
+    def _promote_degraded(self) -> None:
+        """Restore throttled VMs to full service when headroom reappears."""
+        if not self._degraded:
+            return
+        served = self.dc.vm_demands()
+        full = self.dc.vm_full_demands()
+        caps = np.array([p.spec.capacity for p in self.dc.pms])
+        loads = self.dc.pm_loads()
+        for vm_id in sorted(self._degraded):
+            host = self.dc.placement.pm_of(vm_id)
+            if self.failed[host]:
+                continue  # will be handled by evacuation/stranding
+            extra = float(full[vm_id] - served[vm_id])
+            if loads[host] + extra <= caps[host] + _EPS:
+                self.dc.set_throttle(vm_id, False)
+                self._degraded.discard(vm_id)
+                self.record.restorations += 1
+                loads[host] += extra
 
     # ------------------------------------------------------------------ #
+    def _fail_pms(self, pm_ids: np.ndarray, time: int) -> int:
+        """Mark PMs failed, count their resident VMs (the blast radius)."""
+        blast = 0
+        for pm_id in pm_ids:
+            pm_id = int(pm_id)
+            self.failed[pm_id] = True
+            self._down_since[pm_id] = time
+            self.record.failures += 1
+            blast += len(self.dc.pms[pm_id].vm_ids)
+        return blast
+
     def step(self, time: int) -> None:
         """Advance failures/repairs one interval (engine hook)."""
         # repairs first, so a PM down this interval stays down a full step
-        recovering = self.failed & (self._rng.random(self.dc.n_pms)
-                                    < self.repair_probability)
+        if self.topology is not None and self.domain_failed.size:
+            dom_recovering = self.domain_failed & (
+                self._rng.random(self.topology.n_domains)
+                < self.domain_repair_probability
+            )
+            self.domain_failed[dom_recovering] = False
+        repair_blocked = (
+            self.domain_failed[self.topology.domain_of]
+            if self.topology is not None else np.zeros(self.dc.n_pms, dtype=bool)
+        )
+        recovering = (self.failed & ~repair_blocked
+                      & (self._rng.random(self.dc.n_pms)
+                         < self.repair_probability))
         self.failed[recovering] = False
         self.record.recoveries += int(recovering.sum())
+        for pm_id in np.flatnonzero(recovering):
+            since = int(self._down_since[pm_id])
+            if since >= 0:
+                self.record.repair_durations.append(max(1, time - since))
+                self._down_since[pm_id] = -1
 
+        # correlated domain outages: every PM in the domain dies at once
+        if self.topology is not None and self.domain_failure_probability > 0.0:
+            crashing_domains = (~self.domain_failed
+                                & (self._rng.random(self.topology.n_domains)
+                                   < self.domain_failure_probability))
+            for dom in np.flatnonzero(crashing_domains):
+                dom = int(dom)
+                self.domain_failed[dom] = True
+                self.record.domain_failures += 1
+                members = self.topology.pms_in(dom)
+                fresh = members[~self.failed[members]]
+                self.record.blast_radii.append(self._fail_pms(fresh, time))
+            for dom in np.flatnonzero(crashing_domains):
+                for pm_id in self.topology.pms_in(int(dom)):
+                    if self.dc.pms[int(pm_id)].vm_ids:
+                        self._evacuate(int(pm_id))
+
+        # independent per-PM crashes (powered-on PMs only)
         powered = np.array([p.is_used for p in self.dc.pms])
         crashing = (~self.failed & powered
                     & (self._rng.random(self.dc.n_pms)
                        < self.failure_probability))
         for pm_id in np.flatnonzero(crashing):
             pm_id = int(pm_id)
-            self.failed[pm_id] = True
-            self.record.failures += 1
+            self.record.blast_radii.append(
+                self._fail_pms(np.array([pm_id]), time)
+            )
             self._evacuate(pm_id)
 
         self._retry_stranded()
+        self._promote_degraded()
         self.record.stranded_vm_intervals += len(self._stranded)
+        self.record.degraded_vm_intervals += len(self._degraded)
         self.record.failed_intervals += int(self.failed.sum())
 
     @property
     def stranded_vms(self) -> set[int]:
         """VMs currently without a healthy host."""
         return set(self._stranded)
+
+    @property
+    def degraded_vms(self) -> set[int]:
+        """VMs currently throttled to base demand (degraded service)."""
+        return set(self._degraded)
+
+    @property
+    def failed_mask(self) -> np.ndarray:
+        """Copy of the per-PM failure mask (for failure-aware schedulers)."""
+        return self.failed.copy()

@@ -21,6 +21,14 @@ Each migration carries a cost: the moved VM's demand is charged on *both*
 PMs for ``overhead_intervals`` intervals (the paper: "significant downtime
 ... also incurs noticeable CPU usage on the host PM"); the monitor counts
 events regardless.
+
+All target selectors accept an optional ``excluded`` PM mask so callers can
+veto crashed or blacklisted hosts — the scheduler threads the failure
+injector's mask through here, which is what keeps live migration from
+targeting a dead PM.  :class:`MigrationExecutor` adds mid-flight failure
+semantics: a migration attempt can fail with configurable probability, the
+moved VM then backs off exponentially (capped) before retrying, and targets
+that repeatedly fail are temporarily blacklisted (flap suppression).
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ from typing import Callable, Optional, Protocol
 import numpy as np
 
 from repro.simulation.datacenter import Datacenter
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_probability
 
 _EPS = 1e-9
 
@@ -50,7 +60,8 @@ class MigrationPolicy(Protocol):
 
     def pick_vm(self, dc: Datacenter, pm_id: int) -> int: ...
 
-    def pick_target(self, dc: Datacenter, vm_id: int, source_pm: int) -> Optional[int]: ...
+    def pick_target(self, dc: Datacenter, vm_id: int, source_pm: int,
+                    excluded: Optional[np.ndarray] = None) -> Optional[int]: ...
 
 
 # --------------------------------------------------------------------- #
@@ -90,25 +101,34 @@ def select_vm_min_sufficient(dc: Datacenter, pm_id: int) -> int:
 # --------------------------------------------------------------------- #
 # target selection
 # --------------------------------------------------------------------- #
-def _feasible_mask(dc: Datacenter, vm_id: int, source_pm: int) -> np.ndarray:
-    """PMs (other than the source) that can fit the VM's current demand."""
+def _feasible_mask(dc: Datacenter, vm_id: int, source_pm: int,
+                   excluded: Optional[np.ndarray] = None) -> np.ndarray:
+    """PMs (other than the source) that can fit the VM's current demand.
+
+    ``excluded`` is an optional boolean veto mask (crashed or blacklisted
+    PMs) applied on top of the capacity check.
+    """
     loads = dc.pm_loads()
     caps = np.array([p.spec.capacity for p in dc.pms])
     demand = dc.vm_demands()[vm_id]
     ok = loads + demand <= caps + _EPS
     ok[source_pm] = False
+    if excluded is not None:
+        ok &= ~np.asarray(excluded, dtype=bool)
     return ok
 
 
 def select_target_least_loaded(dc: Datacenter, vm_id: int,
-                               source_pm: int) -> Optional[int]:
+                               source_pm: int,
+                               excluded: Optional[np.ndarray] = None,
+                               ) -> Optional[int]:
     """Burstiness-unaware target choice (observed load; idle-deception prone).
 
     Prefers the *used* PM with the lowest observed load that fits the VM now;
     powers on an idle PM only if no used PM fits.  Returns None when nothing
     fits anywhere.
     """
-    ok = _feasible_mask(dc, vm_id, source_pm)
+    ok = _feasible_mask(dc, vm_id, source_pm, excluded)
     loads = dc.pm_loads()
     used = np.array([p.is_used for p in dc.pms])
     used_candidates = np.flatnonzero(ok & used)
@@ -121,9 +141,11 @@ def select_target_least_loaded(dc: Datacenter, vm_id: int,
 
 
 def select_target_most_free(dc: Datacenter, vm_id: int,
-                            source_pm: int) -> Optional[int]:
+                            source_pm: int,
+                            excluded: Optional[np.ndarray] = None,
+                            ) -> Optional[int]:
     """Variant ranking used PMs by absolute free room instead of load."""
-    ok = _feasible_mask(dc, vm_id, source_pm)
+    ok = _feasible_mask(dc, vm_id, source_pm, excluded)
     loads = dc.pm_loads()
     caps = np.array([p.spec.capacity for p in dc.pms])
     used = np.array([p.is_used for p in dc.pms])
@@ -138,7 +160,8 @@ def select_target_most_free(dc: Datacenter, vm_id: int,
 
 
 def select_target_reservation_aware(
-    dc: Datacenter, vm_id: int, source_pm: int, *,
+    dc: Datacenter, vm_id: int, source_pm: int,
+    excluded: Optional[np.ndarray] = None, *,
     headroom_fraction: float = 0.3,
 ) -> Optional[int]:
     """Burstiness-aware target choice for the scheduler-awareness ablation.
@@ -158,6 +181,8 @@ def select_target_reservation_aware(
         & (loads + demand_now <= caps + _EPS)
     )
     ok[source_pm] = False
+    if excluded is not None:
+        ok &= ~np.asarray(excluded, dtype=bool)
     used = np.array([p.is_used for p in dc.pms])
     used_candidates = np.flatnonzero(ok & used)
     if used_candidates.size:
@@ -181,7 +206,118 @@ class StandardPolicy:
         """Choose which VM to evict from the overloaded PM."""
         return self.pick_vm_fn(dc, pm_id)
 
-    def pick_target(self, dc: Datacenter, vm_id: int,
-                    source_pm: int) -> Optional[int]:
-        """Choose the destination PM (None if the VM fits nowhere)."""
-        return self.pick_target_fn(dc, vm_id, source_pm)
+    def pick_target(self, dc: Datacenter, vm_id: int, source_pm: int,
+                    excluded: Optional[np.ndarray] = None) -> Optional[int]:
+        """Choose the destination PM (None if the VM fits nowhere).
+
+        ``excluded`` is forwarded only when set, so legacy two-argument
+        target functions keep working.
+        """
+        if excluded is None:
+            return self.pick_target_fn(dc, vm_id, source_pm)
+        return self.pick_target_fn(dc, vm_id, source_pm, excluded)
+
+
+# --------------------------------------------------------------------- #
+# mid-flight failure, retry/backoff, and target blacklisting
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff/blacklist knobs for failure-prone migrations.
+
+    Attributes
+    ----------
+    base_backoff_intervals:
+        Wait after a VM's first failed migration before retrying it.
+    max_backoff_intervals:
+        Cap on the exponential backoff (doubles per consecutive failure).
+    blacklist_threshold:
+        Consecutive failed attempts *into* a target PM before it is
+        considered flapping and temporarily vetoed.
+    blacklist_intervals:
+        How long a flapping target stays vetoed.
+    """
+
+    base_backoff_intervals: int = 1
+    max_backoff_intervals: int = 8
+    blacklist_threshold: int = 2
+    blacklist_intervals: int = 10
+
+    def __post_init__(self) -> None:
+        check_integer(self.base_backoff_intervals, "base_backoff_intervals",
+                      minimum=1)
+        check_integer(self.max_backoff_intervals, "max_backoff_intervals",
+                      minimum=self.base_backoff_intervals)
+        check_integer(self.blacklist_threshold, "blacklist_threshold",
+                      minimum=1)
+        check_integer(self.blacklist_intervals, "blacklist_intervals",
+                      minimum=1)
+
+    def backoff(self, consecutive_failures: int) -> int:
+        """Backoff length after the n-th consecutive failure (capped)."""
+        return min(self.max_backoff_intervals,
+                   self.base_backoff_intervals * 2 ** (consecutive_failures - 1))
+
+
+class MigrationExecutor:
+    """Executes migrations that can fail mid-flight.
+
+    A failed attempt leaves the VM on its source PM (the pre-copy aborted),
+    puts the VM into capped exponential backoff, and counts a strike against
+    the target; targets accumulating ``blacklist_threshold`` consecutive
+    strikes are vetoed for ``blacklist_intervals`` intervals.  With
+    ``failure_probability = 0`` (the default) this degrades to a plain
+    ``dc.migrate`` and draws no randomness, preserving legacy streams.
+    """
+
+    def __init__(self, dc: Datacenter, *, failure_probability: float = 0.0,
+                 retry: RetryPolicy | None = None, seed: SeedLike = None):
+        self.dc = dc
+        self.failure_probability = check_probability(
+            failure_probability, "migration failure_probability"
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = as_generator(seed)
+        self.attempts = 0
+        self.failures = 0
+        self._vm_backoff_until: dict[int, int] = {}
+        self._vm_consecutive_failures: dict[int, int] = {}
+        self._target_strikes: dict[int, int] = {}
+        self._blacklist_until: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def in_backoff(self, vm_id: int, time: int) -> bool:
+        """Whether ``vm_id`` is still cooling down from a failed attempt."""
+        return self._vm_backoff_until.get(vm_id, -1) > time
+
+    def blacklisted_mask(self, time: int) -> Optional[np.ndarray]:
+        """Boolean veto mask of currently-blacklisted targets (or None)."""
+        live = [pm for pm, until in self._blacklist_until.items() if until > time]
+        if not live:
+            return None
+        mask = np.zeros(self.dc.n_pms, dtype=bool)
+        mask[live] = True
+        return mask
+
+    def attempt(self, vm_id: int, target_pm: int, time: int) -> bool:
+        """Try to migrate; returns True on success, False on a failed flight."""
+        self.attempts += 1
+        if (self.failure_probability > 0.0
+                and self._rng.random() < self.failure_probability):
+            self.failures += 1
+            fails = self._vm_consecutive_failures.get(vm_id, 0) + 1
+            self._vm_consecutive_failures[vm_id] = fails
+            self._vm_backoff_until[vm_id] = time + self.retry.backoff(fails)
+            strikes = self._target_strikes.get(target_pm, 0) + 1
+            if strikes >= self.retry.blacklist_threshold:
+                self._blacklist_until[target_pm] = (
+                    time + self.retry.blacklist_intervals
+                )
+                strikes = 0
+            self._target_strikes[target_pm] = strikes
+            return False
+        self.dc.migrate(vm_id, target_pm)
+        self._vm_consecutive_failures.pop(vm_id, None)
+        self._vm_backoff_until.pop(vm_id, None)
+        self._target_strikes.pop(target_pm, None)
+        return True

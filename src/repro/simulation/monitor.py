@@ -35,6 +35,18 @@ class RunRecord:
     vm_suffering_counts: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
+    #: per-VM count of intervals spent stranded on failed hardware (outage);
+    #: empty when the monitor was built without VM tracking
+    vm_down_counts: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: per-VM count of intervals served degraded at ``R_b`` (throttled);
+    #: empty when the monitor was built without VM tracking
+    vm_degraded_counts: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: migration attempts that failed mid-flight over the run
+    failed_migration_attempts: int = 0
 
     @property
     def total_migrations(self) -> int:
@@ -61,6 +73,24 @@ class RunRecord:
         if self.vm_suffering_counts.size == 0 or self.n_intervals == 0:
             return self.vm_suffering_counts.astype(float)
         return self.vm_suffering_counts / self.n_intervals
+
+    def vm_availability(self) -> np.ndarray:
+        """Per-VM fraction of intervals with *any* service (1 - downtime).
+
+        Downtime here is full outage: intervals spent stranded on failed
+        hardware.  Degraded intervals still count as available (the VM is
+        served, at ``R_b``); see :meth:`vm_degraded_fraction` for that axis.
+        Empty array when VM tracking was off.
+        """
+        if self.vm_down_counts.size == 0 or self.n_intervals == 0:
+            return self.vm_down_counts.astype(float)
+        return 1.0 - self.vm_down_counts / self.n_intervals
+
+    def vm_degraded_fraction(self) -> np.ndarray:
+        """Per-VM fraction of intervals served degraded (throttled to R_b)."""
+        if self.vm_degraded_counts.size == 0 or self.n_intervals == 0:
+            return self.vm_degraded_counts.astype(float)
+        return self.vm_degraded_counts / self.n_intervals
 
     def cvr_per_pm(self) -> np.ndarray:
         """Empirical CVR of each PM over the intervals it hosted VMs.
@@ -104,9 +134,24 @@ class Monitor:
         self._vm_suffering = (
             np.zeros(n_vms, dtype=np.int64) if n_vms is not None else None
         )
+        self._vm_down = (
+            np.zeros(n_vms, dtype=np.int64) if n_vms is not None else None
+        )
+        self._vm_degraded = (
+            np.zeros(n_vms, dtype=np.int64) if n_vms is not None else None
+        )
+        self._failed_migrations = 0
 
-    def record_interval(self, dc: Datacenter, migrations: list[MigrationEvent]) -> None:
-        """Record one interval's end-state and the migrations it triggered."""
+    def record_interval(self, dc: Datacenter, migrations: list[MigrationEvent],
+                        *, down_vms: set[int] | None = None,
+                        degraded_vms: set[int] | None = None,
+                        failed_migrations: int = 0) -> None:
+        """Record one interval's end-state and the migrations it triggered.
+
+        ``down_vms`` / ``degraded_vms`` are the failure injector's stranded
+        and throttled VM sets for the interval (availability accounting);
+        ``failed_migrations`` counts mid-flight migration failures.
+        """
         if dc.n_pms != self._n_pms:
             raise ValueError(
                 f"datacenter has {dc.n_pms} PMs but monitor was built for {self._n_pms}"
@@ -127,6 +172,11 @@ class Monitor:
                     f"{self._vm_suffering.size}"
                 )
             self._vm_suffering += violated[dc.placement.assignment]
+        self._failed_migrations += failed_migrations
+        if self._vm_down is not None and down_vms:
+            self._vm_down[sorted(down_vms)] += 1
+        if self._vm_degraded is not None and degraded_vms:
+            self._vm_degraded[sorted(degraded_vms)] += 1
 
     def finalize(self) -> RunRecord:
         """Produce the run summary."""
@@ -142,4 +192,13 @@ class Monitor:
                 self._vm_suffering.copy() if self._vm_suffering is not None
                 else np.empty(0, dtype=np.int64)
             ),
+            vm_down_counts=(
+                self._vm_down.copy() if self._vm_down is not None
+                else np.empty(0, dtype=np.int64)
+            ),
+            vm_degraded_counts=(
+                self._vm_degraded.copy() if self._vm_degraded is not None
+                else np.empty(0, dtype=np.int64)
+            ),
+            failed_migration_attempts=self._failed_migrations,
         )

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.core.queuing_ffd import QueuingFFD
 from repro.core.types import VMSpec

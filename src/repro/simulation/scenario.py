@@ -15,22 +15,24 @@ present), CVR and per-VM fairness, failure/evacuation counters, and energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.analysis.availability import availability_report
 from repro.analysis.fairness import fairness_report
-from repro.core.types import Placement, PMSpec, VMSpec
+from repro.core.types import PMSpec, VMSpec
 from repro.placement.base import Placer
 from repro.simulation.costmodel import CostedScheduler, MigrationCostModel
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.energy import EnergyModel
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.failures import FailureInjector, FailureRecord
-from repro.simulation.migration import MigrationPolicy
+from repro.simulation.migration import MigrationPolicy, RetryPolicy
 from repro.simulation.monitor import Monitor, RunRecord
 from repro.simulation.scheduler import DynamicScheduler
+from repro.simulation.topology import Topology
 from repro.simulation.triggers import MigrationTrigger
 from repro.utils.rng import SeedLike, spawn_children
 from repro.utils.validation import check_integer, check_probability
@@ -50,6 +52,7 @@ class ScenarioReport:
     energy_joules: float | None = None
     migration_downtime_seconds: float | None = None
     failures: FailureRecord | None = None
+    availability: dict[str, float] | None = None
 
     def summary(self) -> str:
         """One-paragraph human-readable summary."""
@@ -57,7 +60,9 @@ class ScenarioReport:
             f"PMs: {self.initial_pms_used} initial -> {self.final_pms_used} final",
             f"migrations: {self.total_migrations}"
             + (f" ({self.migration_downtime_seconds:.1f}s downtime)"
-               if self.migration_downtime_seconds is not None else ""),
+               if self.migration_downtime_seconds is not None else "")
+            + (f", {self.record.failed_migration_attempts} failed attempts"
+               if self.record.failed_migration_attempts else ""),
             f"CVR: mean {self.mean_cvr:.4f}, max {self.max_cvr:.4f}",
             f"suffering fairness: Jain {self.fairness['jain']:.2f}, "
             f"max share {self.fairness['max_share']:.2f}",
@@ -66,9 +71,21 @@ class ScenarioReport:
             lines.append(f"energy: {self.energy_joules / 3.6e6:.2f} kWh")
         if self.failures is not None:
             lines.append(
-                f"failures: {self.failures.failures} crashes, "
-                f"{self.failures.evacuations} evacuations, "
+                f"failures: {self.failures.failures} crashes"
+                + (f" ({self.failures.domain_failures} domain outages)"
+                   if self.failures.domain_failures else "")
+                + f", {self.failures.evacuations} evacuations, "
+                f"{self.failures.degraded_vm_intervals} degraded VM-intervals, "
                 f"{self.failures.stranded_vm_intervals} stranded VM-intervals"
+            )
+        if self.availability is not None:
+            mttr = self.availability.get("mttr_intervals", float("nan"))
+            lines.append(
+                f"availability: mean {self.availability['mean_availability']:.4f} "
+                f"({self.availability['mean_nines']:.1f} nines), "
+                f"min {self.availability['min_availability']:.4f}, "
+                f"MTTR {mttr:.1f} intervals, "
+                f"blast radius max {self.availability.get('blast_max', 0.0):.0f} VMs"
             )
         return "\n".join(lines)
 
@@ -91,7 +108,17 @@ class Scenario:
     failures:
         ``True`` for default crash injection, or a dict of
         :class:`~repro.simulation.failures.FailureInjector` kwargs
-        (``failure_probability``, ``repair_probability``).
+        (``failure_probability``, ``repair_probability``,
+        ``domain_failure_probability``, ``degrade_stranded``, ...).
+    topology:
+        Optional :class:`~repro.simulation.topology.Topology` (racks /
+        power domains) enabling correlated domain outages in the injector.
+    migration_failure_probability:
+        Per-attempt probability a live migration fails mid-flight; failed
+        VMs back off exponentially and flapping targets are blacklisted
+        (see :class:`~repro.simulation.migration.MigrationExecutor`).
+    retry_policy:
+        Backoff/blacklist knobs for failed migrations.
     energy_model:
         If given, the report includes an energy estimate.
     interval_seconds:
@@ -110,6 +137,9 @@ class Scenario:
         trigger: MigrationTrigger | None = None,
         cost_model: MigrationCostModel | None = None,
         failures: bool | dict[str, Any] = False,
+        topology: Topology | None = None,
+        migration_failure_probability: float = 0.0,
+        retry_policy: RetryPolicy | None = None,
         energy_model: EnergyModel | None = None,
         interval_seconds: float = 30.0,
         start_stationary: bool = False,
@@ -129,6 +159,18 @@ class Scenario:
             self.failure_kwargs = dict(failures)
         else:
             self.failure_kwargs = None
+        if topology is not None and topology.n_pms != len(self.pms):
+            raise ValueError(
+                f"topology covers {topology.n_pms} PMs but instance has {len(self.pms)}"
+            )
+        if topology is not None and self.failure_kwargs is None:
+            # A topology implies the user wants failures; default-enable them.
+            self.failure_kwargs = {}
+        self.topology = topology
+        self.migration_failure_probability = check_probability(
+            migration_failure_probability, "migration_failure_probability"
+        )
+        self.retry_policy = retry_policy
         self.energy_model = energy_model
         self.interval_seconds = interval_seconds
         self.start_stationary = start_stationary
@@ -136,22 +178,31 @@ class Scenario:
     def run(self, n_intervals: int = 100, *, seed: SeedLike = None) -> ScenarioReport:
         """Place the fleet and simulate ``n_intervals``."""
         n_intervals = check_integer(n_intervals, "n_intervals", minimum=1)
-        rng_dc, rng_fail = spawn_children(seed, 2)
+        rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
         placement = self.placer.place(self.vms, self.pms)
         dc = Datacenter(self.vms, self.pms, placement, seed=rng_dc,
                         start_stationary=self.start_stationary)
+        injector = (
+            FailureInjector(dc, seed=rng_fail, topology=self.topology,
+                            **self.failure_kwargs)
+            if self.failure_kwargs is not None else None
+        )
+        scheduler_kwargs: dict[str, Any] = dict(
+            excluded_pms_fn=(lambda: injector.failed) if injector is not None
+            else None,
+            migration_failure_probability=self.migration_failure_probability,
+            retry_policy=self.retry_policy,
+            seed=rng_sched,
+        )
         if self.cost_model is not None:
             scheduler: DynamicScheduler = CostedScheduler(
-                dc, self.policy, cost_model=self.cost_model
+                dc, self.policy, cost_model=self.cost_model, **scheduler_kwargs
             )
             if self.trigger is not None:
                 scheduler.trigger = self.trigger
         else:
-            scheduler = DynamicScheduler(dc, self.policy, trigger=self.trigger)
-        injector = (
-            FailureInjector(dc, seed=rng_fail, **self.failure_kwargs)
-            if self.failure_kwargs is not None else None
-        )
+            scheduler = DynamicScheduler(dc, self.policy, trigger=self.trigger,
+                                         **scheduler_kwargs)
         monitor = Monitor(dc.n_pms, n_vms=dc.n_vms)
         engine = SimulationEngine()
         energy_total = 0.0
@@ -162,7 +213,12 @@ class Scenario:
             if injector is not None:
                 injector.step(t)
             events = scheduler.resolve_overloads(t)
-            monitor.record_interval(dc, events)
+            monitor.record_interval(
+                dc, events,
+                down_vms=injector.stranded_vms if injector is not None else None,
+                degraded_vms=injector.degraded_vms if injector is not None else None,
+                failed_migrations=scheduler.failed_attempts_last_interval,
+            )
             if self.energy_model is not None:
                 loads = dc.pm_loads()
                 caps = np.array([p.spec.capacity for p in dc.pms])
@@ -194,6 +250,10 @@ class Scenario:
                 if isinstance(scheduler, CostedScheduler) else None
             ),
             failures=injector.record if injector is not None else None,
+            availability=(
+                availability_report(record, injector.record)
+                if injector is not None else None
+            ),
         )
 
 

@@ -13,12 +13,20 @@ engine and returns a :class:`SimulationResult` with the Fig. 9/10 metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.migration import MigrationEvent, MigrationPolicy, StandardPolicy
+from repro.simulation.migration import (
+    MigrationEvent,
+    MigrationExecutor,
+    MigrationPolicy,
+    RetryPolicy,
+    StandardPolicy,
+)
 from repro.simulation.monitor import Monitor, RunRecord
 from repro.simulation.triggers import MigrationTrigger, OverflowTrigger
 from repro.utils.rng import SeedLike
@@ -44,27 +52,64 @@ class DynamicScheduler:
         for the paper's rho-tolerant semantics.
     max_migrations_per_interval:
         Safety valve against pathological thrash within one interval.
+    excluded_pms_fn:
+        Optional callable returning a boolean PM mask of hosts that must
+        never be targeted (typically a failure injector's ``failed_mask``).
+        Without it the scheduler is failure-blind and can live-migrate a VM
+        onto a crashed PM.
+    migration_failure_probability:
+        Per-attempt probability a migration fails mid-flight (the VM stays
+        on its source; see :class:`~repro.simulation.migration.MigrationExecutor`).
+    retry_policy:
+        Backoff/blacklist parameters for failed migrations.
+    seed:
+        RNG seed for the mid-flight failure draws (unused when the failure
+        probability is zero, so legacy streams are unchanged).
     """
 
     def __init__(self, dc: Datacenter, policy: MigrationPolicy | None = None,
                  *, trigger: MigrationTrigger | None = None,
-                 max_migrations_per_interval: int = 1000):
+                 max_migrations_per_interval: int = 1000,
+                 excluded_pms_fn: Callable[[], np.ndarray] | None = None,
+                 migration_failure_probability: float = 0.0,
+                 retry_policy: RetryPolicy | None = None,
+                 seed: SeedLike = None):
         self.dc = dc
         self.policy: MigrationPolicy = policy if policy is not None else StandardPolicy()
         self.trigger: MigrationTrigger = trigger if trigger is not None else OverflowTrigger()
         self.max_migrations_per_interval = check_integer(
             max_migrations_per_interval, "max_migrations_per_interval", minimum=1
         )
+        self.excluded_pms_fn = excluded_pms_fn
+        self.executor = MigrationExecutor(
+            dc, failure_probability=migration_failure_probability,
+            retry=retry_policy, seed=seed,
+        )
+        self.failed_attempts_last_interval = 0
+
+    def _excluded_mask(self, time: int) -> np.ndarray | None:
+        """Combined veto mask: crashed PMs plus blacklisted flappers."""
+        excluded = (np.asarray(self.excluded_pms_fn(), dtype=bool)
+                    if self.excluded_pms_fn is not None else None)
+        blacklisted = self.executor.blacklisted_mask(time)
+        if excluded is None:
+            return blacklisted
+        if blacklisted is None:
+            return excluded
+        return excluded | blacklisted
 
     def resolve_overloads(self, time: int) -> list[MigrationEvent]:
         """Migrate VMs off overloaded PMs; returns the events performed.
 
         A PM that stays overloaded because no target fits is left violated
         for this interval (counted by the monitor), matching the paper's
-        tolerance of transient violations.
+        tolerance of transient violations.  VMs whose last migration failed
+        are skipped while in backoff; a failed attempt consumes budget and
+        ends work on that PM for the interval (the VM just entered backoff).
         """
         events: list[MigrationEvent] = []
         budget = self.max_migrations_per_interval
+        self.failed_attempts_last_interval = 0
         self.trigger.observe(self.dc, time)
         overloaded = [
             int(pm) for pm in self.dc.overloaded_pms()
@@ -77,13 +122,21 @@ class DynamicScheduler:
                 if len(self.dc.pms[pm_id].vm_ids) <= 1:
                     break  # a lone VM that exceeds capacity has nowhere better
                 vm_id = self.policy.pick_vm(self.dc, pm_id)
-                target = self.policy.pick_target(self.dc, vm_id, pm_id)
+                if self.executor.in_backoff(vm_id, time):
+                    break  # cooling down after a failed flight
+                target = self.policy.pick_target(
+                    self.dc, vm_id, pm_id, excluded=self._excluded_mask(time)
+                )
                 if target is None:
                     break  # fits nowhere; tolerate the violation
-                self.dc.migrate(vm_id, target)
-                events.append(MigrationEvent(time=time, vm_id=vm_id,
-                                             source_pm=pm_id, target_pm=target))
-                budget -= 1
+                if self.executor.attempt(vm_id, target, time):
+                    events.append(MigrationEvent(time=time, vm_id=vm_id,
+                                                 source_pm=pm_id, target_pm=target))
+                    budget -= 1
+                else:
+                    self.failed_attempts_last_interval += 1
+                    budget -= 1
+                    break  # the picked VM is now in backoff
             if budget == 0:
                 break
         return events

@@ -9,7 +9,7 @@ share one generator across components when they want correlated streams.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

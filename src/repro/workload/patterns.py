@@ -19,9 +19,8 @@ Two families:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import Literal
 
-import numpy as np
 
 from repro.core.types import PMSpec, VMSpec
 from repro.utils.rng import SeedLike, as_generator

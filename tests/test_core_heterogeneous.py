@@ -9,7 +9,6 @@ from repro.core.heterogeneous import (
     heterogeneous_blocks,
     heterogeneous_cvr,
     poisson_binomial_pmf,
-    stationary_on_probabilities,
 )
 from repro.core.mapcal import mapcal
 from repro.core.types import PMSpec, VMSpec

@@ -5,8 +5,6 @@ package-level contract (registry integrity, determinism, result shape) at
 reduced scale so the unit suite stays fast.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.report import ExperimentResult, render_result
 from repro.experiments.ablations import (

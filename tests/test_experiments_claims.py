@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.report import ExperimentResult
-from repro.experiments.claims import CLAIM_SUITES, PaperClaim, verify_claims
+from repro.experiments.claims import CLAIM_SUITES, verify_claims
 
 
 class TestRegistry:

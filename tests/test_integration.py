@@ -40,7 +40,6 @@ class TestCvrGuarantee:
         """For a PM with known hosted set, the analytic overflow probability
         matches the simulated CVR."""
         from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
-        from repro.core.mapcal import mapcal_table
 
         vms, pms = generate_pattern_instance("equal", 100, seed=12)
         placer = QueuingFFD(rho=RHO, d=D)

@@ -1,6 +1,5 @@
 """Tests for repro.placement.ffd — classic bin-packing placers."""
 
-import numpy as np
 import pytest
 
 from repro.core.types import PMSpec, VMSpec

@@ -7,7 +7,7 @@ Eq. (17) monotonicity, and placement validity for every placer.
 """
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.mapcal import mapcal, mapcal_table

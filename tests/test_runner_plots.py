@@ -1,6 +1,5 @@
 """Tests for the runner's ASCII figure rendering (--plot paths)."""
 
-import pytest
 
 from repro.analysis.report import ExperimentResult
 from repro.experiments.runner import _plot, main

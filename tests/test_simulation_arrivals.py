@@ -1,11 +1,10 @@
 """Tests for repro.simulation.arrivals — the dynamic-fleet simulator."""
 
-import numpy as np
 import pytest
 
 from repro.core.queuing_ffd import QueuingFFD
 from repro.core.types import PMSpec, VMSpec
-from repro.simulation.arrivals import DynamicFleetRecord, DynamicFleetSimulator
+from repro.simulation.arrivals import DynamicFleetSimulator
 
 
 def fleet(n=20, cap=100.0):

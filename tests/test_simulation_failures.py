@@ -65,7 +65,8 @@ class TestFailureInjector:
 
     def test_stranded_retry_succeeds_when_demand_shrinks(self):
         # Two PMs; the stranded VM is spiking during the crash and only
-        # fits the healthy PM once its spike ends.
+        # fits the healthy PM once its spike ends.  Degradation is off so
+        # the plain stranded-retry path is exercised.
         vms = [VMSpec(0.01, 0.09, 30.0, 40.0), vm(60.0)]
         pms = [PMSpec(100.0), PMSpec(100.0)]
         placement = Placement(2, 2, assignment=np.array([0, 1]))
@@ -73,7 +74,8 @@ class TestFailureInjector:
         dc._on[0] = True
         dc.vms[0].on = True  # demand 70 > PM1's free 40
         inj = FailureInjector(dc, failure_probability=0.0,
-                              repair_probability=0.0, seed=5)
+                              repair_probability=0.0,
+                              degrade_stranded=False, seed=5)
         inj.failed[0] = True
         inj.record.failures += 1
         inj._evacuate(0)

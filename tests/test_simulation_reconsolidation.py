@@ -1,6 +1,5 @@
 """Tests for repro.simulation.reconsolidation."""
 
-import numpy as np
 import pytest
 
 from repro.core.queuing_ffd import QueuingFFD

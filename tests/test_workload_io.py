@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.types import Placement, PMSpec, VMSpec
+from repro.core.types import Placement, VMSpec
 from repro.workload.io import (
     load_instance,
     load_placement,

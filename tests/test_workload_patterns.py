@@ -1,6 +1,5 @@
 """Tests for repro.workload.patterns — instance generators and Table I."""
 
-import numpy as np
 import pytest
 
 from repro.workload.patterns import (

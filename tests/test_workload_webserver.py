@@ -6,7 +6,6 @@ import pytest
 from repro.markov.onoff import OnOffChain
 from repro.workload.webserver import (
     THINK_TIME_FLOOR,
-    THINK_TIME_MEAN,
     UserPool,
     WebServerWorkload,
 )
