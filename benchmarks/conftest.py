@@ -3,17 +3,47 @@
 Each benchmark regenerates one paper artifact (table or figure), times it
 with pytest-benchmark, and persists the reproduced rows under
 ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote them.
+
+Setting ``REPRO_TRACE_BENCH`` (to an output directory, or any truthy value
+for the default ``benchmarks/results``) runs the whole benchmark session
+under a telemetry context — no event sinks, so the hot paths stay
+unperturbed — and writes the profiling span tree and the metrics registry
+as ``BENCH_spans.json`` / ``BENCH_metrics.json`` for CI to archive.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.report import ExperimentResult, render_result
+from repro.telemetry import Telemetry, tracing
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Session-wide profiling of every benchmark, opt-in via env var."""
+    target = os.environ.get("REPRO_TRACE_BENCH")
+    if not target:
+        yield None
+        return
+    out_dir = Path(target) if target not in ("1", "true", "yes") else RESULTS_DIR
+    tel = Telemetry()  # no sinks: spans + metrics only
+    with tracing(tel):
+        yield tel
+    out_dir.mkdir(parents=True, exist_ok=True)
+    spans = {"summary": tel.profiler.summary(), **tel.profiler.to_dict()}
+    (out_dir / "BENCH_spans.json").write_text(
+        json.dumps(spans, indent=2) + "\n")
+    (out_dir / "BENCH_metrics.json").write_text(
+        tel.metrics.to_json(indent=2) + "\n")
+    print(f"\n[bench telemetry written to {out_dir}/BENCH_*.json]")
+    print(tel.profiler.summary())
 
 
 @pytest.fixture(scope="session")

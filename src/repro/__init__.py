@@ -16,6 +16,8 @@ Quickstart
 True
 """
 
+import logging
+
 from repro.core.mapcal import BlockMapping, mapcal, mapcal_table
 from repro.core.multidim import MultiDimFirstFit, MultiDimPMSpec, MultiDimVMSpec
 from repro.core.online import OnlineConsolidator
@@ -36,7 +38,15 @@ from repro.placement.ffd import (
 from repro.placement.rbex import RBExPlacer
 from repro.placement.sbp import StochasticBinPacker
 from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+from repro.simulation.scenario import Scenario, ScenarioReport
 from repro.simulation.scheduler import SimulationResult, run_simulation
+from repro.telemetry import (
+    JSONLSink,
+    RingBufferSink,
+    Telemetry,
+    timed,
+    tracing,
+)
 from repro.workload.patterns import (
     TABLE_I,
     generate_pattern_instance,
@@ -46,6 +56,10 @@ from repro.workload.patterns import (
 from repro.workload.webserver import WebServerWorkload
 
 __version__ = "1.0.0"
+
+# Library logging etiquette: emit nothing unless the application configures
+# handlers (anomalies surface as WARNINGs once it does).
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __all__ = [
     "BlockMapping",
@@ -74,8 +88,15 @@ __all__ = [
     "RBExPlacer",
     "StochasticBinPacker",
     "FiniteSourceGeomGeomK",
+    "Scenario",
+    "ScenarioReport",
     "SimulationResult",
     "run_simulation",
+    "JSONLSink",
+    "RingBufferSink",
+    "Telemetry",
+    "timed",
+    "tracing",
     "TABLE_I",
     "generate_pattern_instance",
     "make_pms",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.markov.chain import StationaryMethod
 from repro.queueing.geom_geom_k import FiniteSourceGeomGeomK
+from repro.telemetry import timed
 from repro.utils.validation import check_integer, check_probability
 
 
@@ -55,8 +56,9 @@ def mapcal(k: int, p_on: float, p_off: float, rho: float,
     check_probability(rho, "rho")
     if k == 0:
         return 0
-    model = FiniteSourceGeomGeomK(k, p_on, p_off)
-    return model.min_windows_for_overflow(rho, method)
+    with timed("mapcal.solve"):
+        model = FiniteSourceGeomGeomK(k, p_on, p_off)
+        return model.min_windows_for_overflow(rho, method)
 
 
 @dataclass(frozen=True)
@@ -108,6 +110,7 @@ def mapcal_table(d: int, p_on: float, p_off: float, rho: float,
     p_off = check_probability(p_off, "p_off", allow_zero=False)
     rho = check_probability(rho, "rho")
     table = np.zeros(d + 1, dtype=np.int64)
-    for k in range(1, d + 1):
-        table[k] = mapcal(k, p_on, p_off, rho, method=method)
+    with timed("mapcal.table"):
+        for k in range(1, d + 1):
+            table[k] = mapcal(k, p_on, p_off, rho, method=method)
     return BlockMapping(p_on=p_on, p_off=p_off, rho=rho, table=table)

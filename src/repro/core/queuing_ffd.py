@@ -28,6 +28,7 @@ from repro.core.types import Placement, PMSpec, VMSpec
 from repro.markov.chain import StationaryMethod
 from repro.placement.base import InsufficientCapacityError, Placer
 from repro.placement.spread import DomainSpreadConstraint
+from repro.telemetry import timed
 from repro.utils.validation import check_integer, check_probability
 
 ClusterMethod = Literal["binning", "kmeans", "none"]
@@ -136,6 +137,12 @@ class QueuingFFD(Placer):
         :meth:`_place_reference` keeps the literal Algorithm 2 loop for
         cross-validation.
         """
+        with timed("queuing_ffd.place"):
+            return self._place_vectorized(vms, pms)
+
+    def _place_vectorized(
+        self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]
+    ) -> tuple[Placement, list[PMReservationState]]:
         placement = Placement(len(vms), len(pms))
         if not vms:
             return placement, []

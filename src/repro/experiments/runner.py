@@ -125,6 +125,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use the exact heterogeneous (Poisson-binomial) "
                            "variant instead of rounding")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment under full telemetry (events/metrics/spans)")
+    trace.add_argument("experiment", choices=list(EXPERIMENTS))
+    trace.add_argument("--jsonl", type=Path, default=None,
+                       help="write the structured event stream to this "
+                            "JSONL file (replayable)")
+    trace.add_argument("--metrics-json", type=Path, default=None,
+                       help="write the metrics registry snapshot to this "
+                            "JSON file")
+    trace.add_argument("--quiet", action="store_true",
+                       help="suppress the experiment table, print only "
+                            "the telemetry digest")
+
     sub.add_parser("claims",
                    help="machine-check the paper's headline claims")
     return parser
@@ -179,6 +193,38 @@ def _cmd_consolidate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one experiment inside a :func:`repro.telemetry.tracing` block.
+
+    The ambient-default mechanism does the instrumentation: every scenario,
+    scheduler, injector and placer constructed while the block is active
+    resolves the installed context, so experiment code needs no changes.
+    """
+    from repro.telemetry import JSONLSink, Telemetry, tracing
+
+    fn, _ = EXPERIMENTS[args.experiment]
+    sinks = [JSONLSink(args.jsonl)] if args.jsonl is not None else []
+    tel = Telemetry(*sinks)
+    t0 = time.perf_counter()
+    try:
+        with tracing(tel):
+            result = fn()
+    finally:
+        tel.close()
+    elapsed = time.perf_counter() - t0
+    if not args.quiet:
+        print(render_result(result))
+    print(f"[{args.experiment} traced in {elapsed:.1f}s]")
+    print(tel.digest())
+    if args.jsonl is not None:
+        print(f"[{tel.events.emitted} events written to {args.jsonl}]")
+    if args.metrics_json is not None:
+        args.metrics_json.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_json.write_text(tel.metrics.to_json(indent=2) + "\n")
+        print(f"[metrics snapshot written to {args.metrics_json}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -190,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fit(args)
     if args.command == "consolidate":
         return _cmd_consolidate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "claims":
         from repro.experiments.claims import verify_claims
 

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from typing import Sequence
 
 from repro.core.types import Placement, PMSpec, VMSpec
+from repro.telemetry import PRE_RUN, Telemetry, VMPlaced, resolve, timed
+
+logger = logging.getLogger(__name__)
 
 
 class InsufficientCapacityError(RuntimeError):
@@ -13,9 +17,11 @@ class InsufficientCapacityError(RuntimeError):
 
     def __init__(self, vm_index: int, message: str | None = None):
         self.vm_index = vm_index
-        super().__init__(
+        message = (
             message or f"no PM can accommodate VM {vm_index}; add PMs or capacity"
         )
+        logger.warning("placement infeasible: %s", message)
+        super().__init__(message)
 
 
 class Placer(ABC):
@@ -51,6 +57,32 @@ class Placer(ABC):
         InsufficientCapacityError
             If some VM fits on no PM under the strategy's constraint.
         """
+
+    def place_and_report(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec],
+                         *, telemetry: Telemetry | None = None) -> Placement:
+        """Instrumented :meth:`place`: span-timed, events and metrics.
+
+        Behaviorally identical to :meth:`place`; additionally the packing
+        pass runs under a ``place.<name>`` profiling span, and when a
+        telemetry context is resolved the result is published — one
+        :class:`~repro.telemetry.VMPlaced` event per VM (stamped
+        :data:`~repro.telemetry.PRE_RUN` since placement precedes the
+        clock) plus footprint metrics.
+        """
+        tel = resolve(telemetry)
+        with timed(f"place.{self.name}"):
+            placement = self.place(vms, pms)
+        if tel is not None:
+            tel.metrics.counter(
+                "placements_total", "consolidation passes executed").inc()
+            tel.metrics.gauge(
+                "placement_pms_used", "PMs used by the last placement"
+            ).set(placement.n_used_pms)
+            if tel.events.enabled:
+                for vm_id, pm_id in placement:
+                    tel.emit(VMPlaced(time=PRE_RUN, vm_id=int(vm_id),
+                                      pm_id=int(pm_id), placer=self.name))
+        return placement
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

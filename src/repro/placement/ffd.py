@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.placement.base import InsufficientCapacityError, Placer
 from repro.placement.spread import DomainSpreadConstraint
+from repro.telemetry import timed
 from repro.utils.validation import check_integer
 
 SizeFn = Callable[[VMSpec], float]
@@ -60,6 +61,10 @@ class _GreedyPlacer(Placer):
             self.name = name
 
     def place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
+        with timed(f"greedy_pack.{self.name}"):
+            return self._place(vms, pms)
+
+    def _place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
         placement = Placement(len(vms), len(pms))
         sizes = np.array([self.size_fn(v) for v in vms], dtype=float)
         if np.any(sizes < 0):

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.types import Placement, PMSpec, VMSpec
+from repro.telemetry import timed
 from repro.utils.rng import SeedLike, as_generator
 
 _EPS = 1e-9
@@ -100,10 +101,11 @@ class Datacenter:
     # ------------------------------------------------------------------ #
     def step(self) -> None:
         """Advance every VM's ON-OFF chain by one interval (vectorized)."""
-        u = self._rng.random(len(self.vms))
-        self._on = np.where(self._on, u >= self._p_off, u < self._p_on)
-        for i, runtime in enumerate(self.vms):
-            runtime.on = bool(self._on[i])
+        with timed("datacenter.step"):
+            u = self._rng.random(len(self.vms))
+            self._on = np.where(self._on, u >= self._p_off, u < self._p_on)
+            for i, runtime in enumerate(self.vms):
+                runtime.on = bool(self._on[i])
 
     # ------------------------------------------------------------------ #
     # queries

@@ -27,14 +27,27 @@ cost of each packing strategy (see :mod:`repro.analysis.availability`).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.topology import Topology
+from repro.telemetry import (
+    DegradationApplied,
+    PMCrashed,
+    PMRepaired,
+    ServiceRestored,
+    Telemetry,
+    VMStranded,
+    resolve,
+    timed,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability
+
+logger = logging.getLogger(__name__)
 
 _EPS = 1e-9
 
@@ -103,8 +116,27 @@ class FailureInjector:
                  domain_failure_probability: float = 0.0,
                  domain_repair_probability: float = 0.1,
                  degrade_stranded: bool = True,
-                 seed: SeedLike = None):
+                 seed: SeedLike = None,
+                 telemetry: Telemetry | None = None):
         self.dc = dc
+        self.telemetry = resolve(telemetry)
+        if self.telemetry is not None:
+            m = self.telemetry.metrics
+            self._m_crashes = m.counter("pm_crashes_total", "PM failures")
+            self._m_repairs = m.counter("pm_repairs_total", "PM repairs")
+            self._m_domain = m.counter(
+                "domain_outages_total", "correlated fault-domain outages")
+            self._m_evac = m.counter(
+                "evacuations_total", "VMs moved off failed hardware")
+            self._m_degraded = m.counter(
+                "degradations_total", "VMs throttled to base demand")
+            self._m_stranded = m.counter(
+                "vm_strandings_total", "VMs left without a healthy host")
+            self._m_restored = m.counter(
+                "restorations_total", "degraded VMs restored to full service")
+            self._h_blast = m.histogram(
+                "blast_radius_vms", "VMs resident on failed hardware per crash",
+                buckets=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0))
         self.failure_probability = check_probability(
             failure_probability, "failure_probability"
         )
@@ -139,7 +171,7 @@ class FailureInjector:
         self._down_since = np.full(dc.n_pms, -1, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
-    def _evacuate(self, pm_id: int) -> None:
+    def _evacuate(self, pm_id: int, time: int = 0) -> None:
         """First-fit the failed PM's VMs onto healthy PMs (by current demand).
 
         VMs that fit nowhere at full demand are throttled to ``R_b`` and
@@ -152,19 +184,35 @@ class FailureInjector:
         loads = self.dc.pm_loads()
         for vm_id in vm_ids:
             if self._place_off(vm_id, pm_id, float(demands[vm_id]),
-                               caps, loads):
+                               caps, loads, time=time):
                 continue
             base = self.dc.vms[vm_id].spec.r_base
             if (self.degrade_stranded and base < demands[vm_id] - _EPS
                     and self._place_off(vm_id, pm_id, base, caps, loads,
-                                        degrade=True)):
+                                        degrade=True, time=time)):
                 continue
-            self._stranded.add(vm_id)
+            self._strand(vm_id, pm_id, time)
+
+    def _strand(self, vm_id: int, pm_id: int, time: int) -> None:
+        """Mark a VM stranded (no healthy host found even degraded)."""
+        if vm_id in self._stranded:
+            return
+        self._stranded.add(vm_id)
+        logger.warning(
+            "VM %d stranded on failed PM %d at interval %d "
+            "(no healthy host fits it, even degraded)", vm_id, pm_id, time,
+        )
+        tel = self.telemetry
+        if tel is not None:
+            self._m_stranded.inc()
+            if tel.events.enabled:
+                tel.emit(VMStranded(time=time, vm_id=vm_id, pm_id=pm_id))
 
     def _place_off(self, vm_id: int, pm_id: int, demand: float,
                    caps: np.ndarray, loads: np.ndarray, *,
-                   degrade: bool = False) -> bool:
+                   degrade: bool = False, time: int = 0) -> bool:
         """Try to move ``vm_id`` off ``pm_id`` at ``demand``; updates loads."""
+        tel = self.telemetry
         for cand in np.argsort(loads):
             cand = int(cand)
             if cand == pm_id or self.failed[cand]:
@@ -174,34 +222,57 @@ class FailureInjector:
                     self.dc.set_throttle(vm_id, True)
                     self._degraded.add(vm_id)
                     self.record.degraded_evacuations += 1
+                    logger.warning(
+                        "VM %d degraded to base demand to fit on PM %d "
+                        "at interval %d", vm_id, cand, time,
+                    )
+                    if tel is not None:
+                        self._m_degraded.inc()
+                        if tel.events.enabled:
+                            tel.emit(DegradationApplied(
+                                time=time, vm_id=vm_id, pm_id=cand))
                 self.dc.migrate(vm_id, cand)
                 loads[cand] += demand
                 loads[pm_id] -= demand
                 self.record.evacuations += 1
+                if tel is not None:
+                    self._m_evac.inc()
                 return True
         return False
 
-    def _retry_stranded(self) -> None:
+    def _retry_stranded(self, time: int = 0) -> None:
         if not self._stranded:
             return
         demands = self.dc.vm_demands()
         caps = np.array([p.spec.capacity for p in self.dc.pms])
         loads = self.dc.pm_loads()
+        tel = self.telemetry
+        traced = tel is not None and tel.events.enabled
         for vm_id in sorted(self._stranded):
             src = self.dc.placement.pm_of(vm_id)
             if not self.failed[src]:
                 self._stranded.discard(vm_id)  # host recovered under it
+                logger.info("VM %d unstranded: host PM %d recovered", vm_id, src)
+                if traced:
+                    tel.emit(ServiceRestored(time=time, vm_id=vm_id,
+                                             pm_id=src, reason="host_recovered"))
                 continue
-            if self._place_off(vm_id, src, float(demands[vm_id]), caps, loads):
+            if self._place_off(vm_id, src, float(demands[vm_id]), caps, loads,
+                               time=time):
                 self._stranded.discard(vm_id)
+                if traced:
+                    tel.emit(ServiceRestored(
+                        time=time, vm_id=vm_id,
+                        pm_id=int(self.dc.placement.pm_of(vm_id)),
+                        reason="evacuated"))
                 continue
             base = self.dc.vms[vm_id].spec.r_base
             if (self.degrade_stranded and base < demands[vm_id] - _EPS
                     and self._place_off(vm_id, src, base, caps, loads,
-                                        degrade=True)):
+                                        degrade=True, time=time)):
                 self._stranded.discard(vm_id)
 
-    def _promote_degraded(self) -> None:
+    def _promote_degraded(self, time: int = 0) -> None:
         """Restore throttled VMs to full service when headroom reappears."""
         if not self._degraded:
             return
@@ -209,6 +280,7 @@ class FailureInjector:
         full = self.dc.vm_full_demands()
         caps = np.array([p.spec.capacity for p in self.dc.pms])
         loads = self.dc.pm_loads()
+        tel = self.telemetry
         for vm_id in sorted(self._degraded):
             host = self.dc.placement.pm_of(vm_id)
             if self.failed[host]:
@@ -219,21 +291,42 @@ class FailureInjector:
                 self._degraded.discard(vm_id)
                 self.record.restorations += 1
                 loads[host] += extra
+                if tel is not None:
+                    self._m_restored.inc()
+                    if tel.events.enabled:
+                        tel.emit(ServiceRestored(time=time, vm_id=vm_id,
+                                                 pm_id=host, reason="headroom"))
 
     # ------------------------------------------------------------------ #
-    def _fail_pms(self, pm_ids: np.ndarray, time: int) -> int:
+    def _fail_pms(self, pm_ids: np.ndarray, time: int, *,
+                  domain: int = -1) -> int:
         """Mark PMs failed, count their resident VMs (the blast radius)."""
+        tel = self.telemetry
+        traced = tel is not None and tel.events.enabled
         blast = 0
         for pm_id in pm_ids:
             pm_id = int(pm_id)
             self.failed[pm_id] = True
             self._down_since[pm_id] = time
             self.record.failures += 1
-            blast += len(self.dc.pms[pm_id].vm_ids)
+            resident = len(self.dc.pms[pm_id].vm_ids)
+            blast += resident
+            if tel is not None:
+                self._m_crashes.inc()
+                self._h_blast.observe(resident)
+            if traced:
+                tel.emit(PMCrashed(time=time, pm_id=pm_id,
+                                   blast_radius=resident, domain=domain))
         return blast
 
     def step(self, time: int) -> None:
         """Advance failures/repairs one interval (engine hook)."""
+        with timed("failures.step"):
+            self._step(time)
+
+    def _step(self, time: int) -> None:
+        tel = self.telemetry
+        traced = tel is not None and tel.events.enabled
         # repairs first, so a PM down this interval stays down a full step
         if self.topology is not None and self.domain_failed.size:
             dom_recovering = self.domain_failed & (
@@ -252,9 +345,16 @@ class FailureInjector:
         self.record.recoveries += int(recovering.sum())
         for pm_id in np.flatnonzero(recovering):
             since = int(self._down_since[pm_id])
+            downtime = 0
             if since >= 0:
-                self.record.repair_durations.append(max(1, time - since))
+                downtime = max(1, time - since)
+                self.record.repair_durations.append(downtime)
                 self._down_since[pm_id] = -1
+            if tel is not None:
+                self._m_repairs.inc()
+            if traced:
+                tel.emit(PMRepaired(time=time, pm_id=int(pm_id),
+                                    downtime_intervals=downtime))
 
         # correlated domain outages: every PM in the domain dies at once
         if self.topology is not None and self.domain_failure_probability > 0.0:
@@ -265,13 +365,18 @@ class FailureInjector:
                 dom = int(dom)
                 self.domain_failed[dom] = True
                 self.record.domain_failures += 1
+                logger.warning("fault domain %d failed at interval %d", dom, time)
+                if tel is not None:
+                    self._m_domain.inc()
                 members = self.topology.pms_in(dom)
                 fresh = members[~self.failed[members]]
-                self.record.blast_radii.append(self._fail_pms(fresh, time))
+                self.record.blast_radii.append(
+                    self._fail_pms(fresh, time, domain=dom)
+                )
             for dom in np.flatnonzero(crashing_domains):
                 for pm_id in self.topology.pms_in(int(dom)):
                     if self.dc.pms[int(pm_id)].vm_ids:
-                        self._evacuate(int(pm_id))
+                        self._evacuate(int(pm_id), time)
 
         # independent per-PM crashes (powered-on PMs only)
         powered = np.array([p.is_used for p in self.dc.pms])
@@ -283,10 +388,10 @@ class FailureInjector:
             self.record.blast_radii.append(
                 self._fail_pms(np.array([pm_id]), time)
             )
-            self._evacuate(pm_id)
+            self._evacuate(pm_id, time)
 
-        self._retry_stranded()
-        self._promote_degraded()
+        self._retry_stranded(time)
+        self._promote_degraded(time)
         self.record.stranded_vm_intervals += len(self._stranded)
         self.record.degraded_vm_intervals += len(self._degraded)
         self.record.failed_intervals += int(self.failed.sum())

@@ -33,14 +33,25 @@ that repeatedly fail are temporarily blacklisted (flap suppression).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
 import numpy as np
 
 from repro.simulation.datacenter import Datacenter
+from repro.telemetry import (
+    MigrationCompleted,
+    MigrationFailed,
+    MigrationStarted,
+    TargetBlacklisted,
+    Telemetry,
+    resolve,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_probability
+
+logger = logging.getLogger(__name__)
 
 _EPS = 1e-9
 
@@ -271,13 +282,25 @@ class MigrationExecutor:
     """
 
     def __init__(self, dc: Datacenter, *, failure_probability: float = 0.0,
-                 retry: RetryPolicy | None = None, seed: SeedLike = None):
+                 retry: RetryPolicy | None = None, seed: SeedLike = None,
+                 telemetry: Telemetry | None = None):
         self.dc = dc
         self.failure_probability = check_probability(
             failure_probability, "migration failure_probability"
         )
         self.retry = retry if retry is not None else RetryPolicy()
         self._rng = as_generator(seed)
+        self.telemetry = resolve(telemetry)
+        if self.telemetry is not None:
+            m = self.telemetry.metrics
+            self._m_attempts = m.counter(
+                "migration_attempts_total", "live-migration attempts")
+            self._m_completed = m.counter(
+                "migrations_completed_total", "successful live migrations")
+            self._m_failed = m.counter(
+                "migrations_failed_total", "mid-flight migration failures")
+            self._m_blacklisted = m.counter(
+                "targets_blacklisted_total", "flapping targets vetoed")
         self.attempts = 0
         self.failures = 0
         self._vm_backoff_until: dict[int, int] = {}
@@ -302,21 +325,53 @@ class MigrationExecutor:
     def attempt(self, vm_id: int, target_pm: int, time: int) -> bool:
         """Try to migrate; returns True on success, False on a failed flight."""
         self.attempts += 1
+        tel = self.telemetry
+        traced = tel is not None and tel.events.enabled
+        if tel is not None:
+            self._m_attempts.inc()
+        source_pm = self.dc.placement.pm_of(vm_id) if traced else -1
+        if traced:
+            tel.emit(MigrationStarted(time=time, vm_id=vm_id,
+                                      source_pm=source_pm,
+                                      target_pm=target_pm))
         if (self.failure_probability > 0.0
                 and self._rng.random() < self.failure_probability):
             self.failures += 1
             fails = self._vm_consecutive_failures.get(vm_id, 0) + 1
             self._vm_consecutive_failures[vm_id] = fails
-            self._vm_backoff_until[vm_id] = time + self.retry.backoff(fails)
+            backoff = self.retry.backoff(fails)
+            self._vm_backoff_until[vm_id] = time + backoff
             strikes = self._target_strikes.get(target_pm, 0) + 1
+            if tel is not None:
+                self._m_failed.inc()
+            if traced:
+                tel.emit(MigrationFailed(
+                    time=time, vm_id=vm_id, source_pm=source_pm,
+                    target_pm=target_pm, consecutive_failures=fails,
+                    backoff_intervals=backoff,
+                ))
             if strikes >= self.retry.blacklist_threshold:
-                self._blacklist_until[target_pm] = (
-                    time + self.retry.blacklist_intervals
-                )
+                until = time + self.retry.blacklist_intervals
+                self._blacklist_until[target_pm] = until
                 strikes = 0
+                logger.warning(
+                    "migration target PM %d blacklisted until interval %d "
+                    "after repeated failed flights", target_pm, until,
+                )
+                if tel is not None:
+                    self._m_blacklisted.inc()
+                if traced:
+                    tel.emit(TargetBlacklisted(time=time, pm_id=target_pm,
+                                               until_time=until))
             self._target_strikes[target_pm] = strikes
             return False
         self.dc.migrate(vm_id, target_pm)
+        if tel is not None:
+            self._m_completed.inc()
+        if traced:
+            tel.emit(MigrationCompleted(time=time, vm_id=vm_id,
+                                        source_pm=source_pm,
+                                        target_pm=target_pm))
         self._vm_consecutive_failures.pop(vm_id, None)
         self._vm_backoff_until.pop(vm_id, None)
         self._target_strikes.pop(target_pm, None)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.migration import MigrationEvent
+from repro.telemetry import CapacityViolation, Telemetry, resolve
 
 _EPS = 1e-9
 
@@ -118,12 +119,27 @@ class Monitor:
     n_vms:
         If given, also attribute violations to the VMs hosted on the
         violating PM each interval (per-VM suffering counters).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; when given (or when
+        an ambient default is installed), each violated PM-interval is
+        emitted as a :class:`~repro.telemetry.CapacityViolation` event and
+        fleet gauges are published.
     """
 
-    def __init__(self, n_pms: int, *, n_vms: int | None = None):
+    def __init__(self, n_pms: int, *, n_vms: int | None = None,
+                 telemetry: Telemetry | None = None):
         if n_pms <= 0:
             raise ValueError(f"n_pms must be >= 1, got {n_pms}")
         self._n_pms = n_pms
+        self.telemetry = resolve(telemetry)
+        if self.telemetry is not None:
+            m = self.telemetry.metrics
+            self._m_violations = m.counter(
+                "capacity_violations_total", "violated PM-intervals")
+            self._g_pms_used = m.gauge(
+                "pms_used", "powered-on PMs at the last recorded interval")
+            self._g_overloaded = m.gauge(
+                "pms_overloaded", "violated PMs at the last recorded interval")
         self._pms_used: list[int] = []
         self._migrations_per_interval: list[int] = []
         self._events: list[MigrationEvent] = []
@@ -160,6 +176,22 @@ class Monitor:
         caps = np.array([p.spec.capacity for p in dc.pms])
         used = np.array([p.is_used for p in dc.pms])
         violated = loads > caps + _EPS
+        tel = self.telemetry
+        if tel is not None:
+            n_violated = int(violated.sum())
+            self._m_violations.inc(n_violated)
+            self._g_pms_used.set(int(used.sum()))
+            self._g_overloaded.set(n_violated)
+            if tel.events.enabled and n_violated:
+                # the interval index is how many intervals we recorded so far
+                t = len(self._pms_used)
+                for pm_id in np.flatnonzero(violated):
+                    pm_id = int(pm_id)
+                    tel.emit(CapacityViolation(
+                        time=t, pm_id=pm_id,
+                        load=float(loads[pm_id]),
+                        capacity=float(caps[pm_id]),
+                    ))
         self._violations += violated.astype(np.int64)
         self._presence += used.astype(np.int64)
         self._pms_used.append(int(used.sum()))

@@ -22,6 +22,7 @@ from repro.core.types import VMSpec
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.migration import MigrationEvent, MigrationPolicy
 from repro.simulation.scheduler import DynamicScheduler
+from repro.telemetry import MigrationCompleted, ReconsolidationTriggered, timed
 from repro.utils.validation import check_integer
 
 
@@ -59,7 +60,8 @@ class ReconsolidationScheduler(DynamicScheduler):
     def _replan(self, time: int) -> list[MigrationEvent]:
         vms: Sequence[VMSpec] = [v.spec for v in self.dc.vms]
         pms = [p.spec for p in self.dc.pms]
-        target = self.placer.place(vms, pms)
+        with timed("reconsolidation.replan"):
+            target = self.placer.place(vms, pms)
         moves = [
             (vm_id, int(target.assignment[vm_id]))
             for vm_id in range(len(vms))
@@ -69,11 +71,20 @@ class ReconsolidationScheduler(DynamicScheduler):
         # committed capacity if the burst is capped.
         moves.sort(key=lambda m: -vms[m[0]].r_base)
         events = []
+        tel = self.telemetry
+        traced = tel is not None and tel.events.enabled
         for vm_id, target_pm in moves[: self.max_planned_moves]:
             src = self.dc.migrate(vm_id, target_pm)
             events.append(MigrationEvent(time=time, vm_id=vm_id,
                                          source_pm=src, target_pm=target_pm))
+            if traced:
+                tel.emit(MigrationCompleted(time=time, vm_id=vm_id,
+                                            source_pm=src, target_pm=target_pm))
         self.planned_migrations += len(events)
+        if tel is not None and tel.events.enabled:
+            tel.emit(ReconsolidationTriggered(time=time,
+                                              planned_moves=len(moves),
+                                              executed_moves=len(events)))
         return events
 
     def resolve_overloads(self, time: int) -> list[MigrationEvent]:

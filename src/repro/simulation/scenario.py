@@ -34,6 +34,7 @@ from repro.simulation.monitor import Monitor, RunRecord
 from repro.simulation.scheduler import DynamicScheduler
 from repro.simulation.topology import Topology
 from repro.simulation.triggers import MigrationTrigger
+from repro.telemetry import Telemetry, resolve, timed
 from repro.utils.rng import SeedLike, spawn_children
 from repro.utils.validation import check_integer, check_probability
 
@@ -53,6 +54,8 @@ class ScenarioReport:
     migration_downtime_seconds: float | None = None
     failures: FailureRecord | None = None
     availability: dict[str, float] | None = None
+    #: the telemetry context the run published into (None when untraced)
+    telemetry: Telemetry | None = None
 
     def summary(self) -> str:
         """One-paragraph human-readable summary."""
@@ -87,6 +90,8 @@ class ScenarioReport:
                 f"MTTR {mttr:.1f} intervals, "
                 f"blast radius max {self.availability.get('blast_max', 0.0):.0f} VMs"
             )
+        if self.telemetry is not None:
+            lines.append(self.telemetry.digest())
         return "\n".join(lines)
 
 
@@ -125,6 +130,11 @@ class Scenario:
         Interval length (energy accounting only).
     start_stationary:
         Draw initial ON/OFF states from the stationary law.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` context; every
+        component of the run publishes events/metrics into it and the
+        whole run executes under its profiler.  Falls back to the ambient
+        default installed by :func:`repro.telemetry.tracing` (None = off).
     """
 
     def __init__(
@@ -143,6 +153,7 @@ class Scenario:
         energy_model: EnergyModel | None = None,
         interval_seconds: float = 30.0,
         start_stationary: bool = False,
+        telemetry: Telemetry | None = None,
     ):
         if not vms or not pms:
             raise ValueError("need at least one VM and one PM")
@@ -174,17 +185,20 @@ class Scenario:
         self.energy_model = energy_model
         self.interval_seconds = interval_seconds
         self.start_stationary = start_stationary
+        self.telemetry = telemetry
 
     def run(self, n_intervals: int = 100, *, seed: SeedLike = None) -> ScenarioReport:
         """Place the fleet and simulate ``n_intervals``."""
         n_intervals = check_integer(n_intervals, "n_intervals", minimum=1)
+        tel = resolve(self.telemetry)
         rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
-        placement = self.placer.place(self.vms, self.pms)
+        placement = self.placer.place_and_report(self.vms, self.pms,
+                                                 telemetry=tel)
         dc = Datacenter(self.vms, self.pms, placement, seed=rng_dc,
                         start_stationary=self.start_stationary)
         injector = (
             FailureInjector(dc, seed=rng_fail, topology=self.topology,
-                            **self.failure_kwargs)
+                            telemetry=tel, **self.failure_kwargs)
             if self.failure_kwargs is not None else None
         )
         scheduler_kwargs: dict[str, Any] = dict(
@@ -193,6 +207,7 @@ class Scenario:
             migration_failure_probability=self.migration_failure_probability,
             retry_policy=self.retry_policy,
             seed=rng_sched,
+            telemetry=tel,
         )
         if self.cost_model is not None:
             scheduler: DynamicScheduler = CostedScheduler(
@@ -203,33 +218,38 @@ class Scenario:
         else:
             scheduler = DynamicScheduler(dc, self.policy, trigger=self.trigger,
                                          **scheduler_kwargs)
-        monitor = Monitor(dc.n_pms, n_vms=dc.n_vms)
+        monitor = Monitor(dc.n_pms, n_vms=dc.n_vms, telemetry=tel)
         engine = SimulationEngine()
         energy_total = 0.0
 
         def tick(t: int) -> None:
             nonlocal energy_total
-            dc.step()
-            if injector is not None:
-                injector.step(t)
-            events = scheduler.resolve_overloads(t)
-            monitor.record_interval(
-                dc, events,
-                down_vms=injector.stranded_vms if injector is not None else None,
-                degraded_vms=injector.degraded_vms if injector is not None else None,
-                failed_migrations=scheduler.failed_attempts_last_interval,
-            )
-            if self.energy_model is not None:
-                loads = dc.pm_loads()
-                caps = np.array([p.spec.capacity for p in dc.pms])
-                on = np.array([p.is_used for p in dc.pms])
-                energy_total += self.energy_model.fleet_power(
-                    loads, caps, on
-                ) * self.interval_seconds
+            with timed("tick"):
+                dc.step()
+                if injector is not None:
+                    injector.step(t)
+                events = scheduler.resolve_overloads(t)
+                monitor.record_interval(
+                    dc, events,
+                    down_vms=injector.stranded_vms if injector is not None else None,
+                    degraded_vms=injector.degraded_vms if injector is not None else None,
+                    failed_migrations=scheduler.failed_attempts_last_interval,
+                )
+                if self.energy_model is not None:
+                    loads = dc.pm_loads()
+                    caps = np.array([p.spec.capacity for p in dc.pms])
+                    on = np.array([p.is_used for p in dc.pms])
+                    energy_total += self.energy_model.fleet_power(
+                        loads, caps, on
+                    ) * self.interval_seconds
 
         engine.add_hook("tick", tick)
         initial_used = dc.used_pm_count()
-        engine.run(n_intervals)
+        if tel is not None:
+            with tel.profiler:
+                engine.run(n_intervals)
+        else:
+            engine.run(n_intervals)
         record = monitor.finalize()
 
         cvr = record.cvr_per_pm()
@@ -254,6 +274,7 @@ class Scenario:
                 availability_report(record, injector.record)
                 if injector is not None else None
             ),
+            telemetry=tel,
         )
 
 

@@ -12,6 +12,7 @@ engine and returns a :class:`SimulationResult` with the Fig. 9/10 metrics.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -29,8 +30,11 @@ from repro.simulation.migration import (
 )
 from repro.simulation.monitor import Monitor, RunRecord
 from repro.simulation.triggers import MigrationTrigger, OverflowTrigger
+from repro.telemetry import Telemetry, resolve, timed
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_integer
+
+logger = logging.getLogger(__name__)
 
 
 class DynamicScheduler:
@@ -73,7 +77,8 @@ class DynamicScheduler:
                  excluded_pms_fn: Callable[[], np.ndarray] | None = None,
                  migration_failure_probability: float = 0.0,
                  retry_policy: RetryPolicy | None = None,
-                 seed: SeedLike = None):
+                 seed: SeedLike = None,
+                 telemetry: Telemetry | None = None):
         self.dc = dc
         self.policy: MigrationPolicy = policy if policy is not None else StandardPolicy()
         self.trigger: MigrationTrigger = trigger if trigger is not None else OverflowTrigger()
@@ -81,10 +86,15 @@ class DynamicScheduler:
             max_migrations_per_interval, "max_migrations_per_interval", minimum=1
         )
         self.excluded_pms_fn = excluded_pms_fn
+        self.telemetry = resolve(telemetry)
         self.executor = MigrationExecutor(
             dc, failure_probability=migration_failure_probability,
-            retry=retry_policy, seed=seed,
+            retry=retry_policy, seed=seed, telemetry=self.telemetry,
         )
+        if self.telemetry is not None:
+            self._m_unresolved = self.telemetry.metrics.counter(
+                "overloads_unresolved_total",
+                "overloaded PMs left violated (no feasible target)")
         self.failed_attempts_last_interval = 0
 
     def _excluded_mask(self, time: int) -> np.ndarray | None:
@@ -107,6 +117,10 @@ class DynamicScheduler:
         are skipped while in backoff; a failed attempt consumes budget and
         ends work on that PM for the interval (the VM just entered backoff).
         """
+        with timed("scheduler.resolve_overloads"):
+            return self._resolve(time)
+
+    def _resolve(self, time: int) -> list[MigrationEvent]:
         events: list[MigrationEvent] = []
         budget = self.max_migrations_per_interval
         self.failed_attempts_last_interval = 0
@@ -128,7 +142,14 @@ class DynamicScheduler:
                     self.dc, vm_id, pm_id, excluded=self._excluded_mask(time)
                 )
                 if target is None:
-                    break  # fits nowhere; tolerate the violation
+                    # fits nowhere; tolerate the violation this interval
+                    logger.debug(
+                        "overloaded PM %d left violated at interval %d: "
+                        "VM %d fits on no target", pm_id, time, vm_id,
+                    )
+                    if self.telemetry is not None:
+                        self._m_unresolved.inc()
+                    break
                 if self.executor.attempt(vm_id, target, time):
                     events.append(MigrationEvent(time=time, vm_id=vm_id,
                                                  source_pm=pm_id, target_pm=target))

@@ -1,0 +1,108 @@
+"""repro.telemetry — structured events, metrics, and profiling hooks.
+
+Three planes, one facade:
+
+- **events** (:mod:`~repro.telemetry.events`, :mod:`~repro.telemetry.bus`,
+  :mod:`~repro.telemetry.sinks`): typed, deterministic, replayable records
+  of every state transition the simulator performs;
+- **metrics** (:mod:`~repro.telemetry.metrics`): counters/gauges/histograms
+  with Prometheus-text and JSON exporters;
+- **profiling** (:mod:`~repro.telemetry.profiling`): nested wall-clock
+  spans over the hot paths, summarized as a tree.
+
+Quickstart::
+
+    from repro.telemetry import Telemetry, RingBufferSink, tracing
+
+    buffer = RingBufferSink()
+    with tracing(Telemetry(buffer)) as tel:
+        report = Scenario(vms, pms, placer=QueuingFFD()).run(100, seed=7)
+    print(tel.digest())          # metrics + span tree
+    print(len(buffer.events))    # the raw event stream
+"""
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.context import (
+    Telemetry,
+    get_telemetry,
+    resolve,
+    set_telemetry,
+    tracing,
+)
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    PRE_RUN,
+    CapacityViolation,
+    DegradationApplied,
+    MigrationCompleted,
+    MigrationFailed,
+    MigrationStarted,
+    PMCrashed,
+    PMRepaired,
+    ReconsolidationTriggered,
+    ServiceRestored,
+    TargetBlacklisted,
+    TelemetryEvent,
+    VMPlaced,
+    VMStranded,
+    event_from_dict,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profiling import Profiler, Span, active_profiler, timed
+from repro.telemetry.replay import count_by_kind, replay_summary
+from repro.telemetry.sinks import (
+    JSONLSink,
+    NullSink,
+    RingBufferSink,
+    Sink,
+    iter_events,
+    read_events,
+)
+
+__all__ = [
+    "EventBus",
+    "Telemetry",
+    "get_telemetry",
+    "resolve",
+    "set_telemetry",
+    "tracing",
+    "EVENT_TYPES",
+    "PRE_RUN",
+    "CapacityViolation",
+    "DegradationApplied",
+    "MigrationCompleted",
+    "MigrationFailed",
+    "MigrationStarted",
+    "PMCrashed",
+    "PMRepaired",
+    "ReconsolidationTriggered",
+    "ServiceRestored",
+    "TargetBlacklisted",
+    "TelemetryEvent",
+    "VMPlaced",
+    "VMStranded",
+    "event_from_dict",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "Span",
+    "active_profiler",
+    "timed",
+    "count_by_kind",
+    "replay_summary",
+    "JSONLSink",
+    "NullSink",
+    "RingBufferSink",
+    "Sink",
+    "iter_events",
+    "read_events",
+]

@@ -1,0 +1,226 @@
+"""Typed telemetry events: the vocabulary of a traced run.
+
+Every state transition the simulator performs — a VM placed, a migration
+attempted, a PM crashed, a capacity constraint violated — is describable as
+one frozen dataclass below.  Events carry only simulation-time facts (the
+interval index and entity ids), never wall-clock timestamps, so the event
+stream of a seeded run is fully deterministic: running the same scenario
+twice with the same seed yields byte-identical streams.
+
+Serialization is symmetric: ``event.to_dict()`` produces a flat JSON-safe
+dict tagged with the event's ``kind``, and :func:`event_from_dict` inverts
+it via the :data:`EVENT_TYPES` registry, which is what makes JSONL event
+logs replayable (see :mod:`repro.telemetry.replay`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import ClassVar
+
+#: timestamp used for events emitted before the simulation clock starts
+#: (e.g. the initial placement)
+PRE_RUN = -1
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class: every event is stamped with the interval index."""
+
+    kind: ClassVar[str] = "event"
+
+    time: int
+
+    def to_dict(self) -> dict:
+        """Flat JSON-safe representation, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+#: ``kind`` string -> event class, populated by :func:`register`
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {}
+
+
+def register(cls: type[TelemetryEvent]) -> type[TelemetryEvent]:
+    """Class decorator adding an event type to the serialization registry."""
+    if cls.kind in EVENT_TYPES:
+        raise ValueError(f"event kind {cls.kind!r} registered twice")
+    EVENT_TYPES[cls.kind] = cls
+    return cls
+
+
+def event_from_dict(data: dict) -> TelemetryEvent:
+    """Inverse of :meth:`TelemetryEvent.to_dict` (JSONL replay)."""
+    payload = dict(data)
+    try:
+        kind = payload.pop("kind")
+    except KeyError:
+        raise ValueError(f"event dict has no 'kind' tag: {data!r}") from None
+    try:
+        cls = EVENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known: {sorted(EVENT_TYPES)}"
+        ) from None
+    return cls(**payload)
+
+
+# --------------------------------------------------------------------- #
+# placement
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class VMPlaced(TelemetryEvent):
+    """A VM assigned to a PM by a placer (initial consolidation)."""
+
+    kind: ClassVar[str] = "vm_placed"
+
+    vm_id: int
+    pm_id: int
+    placer: str = ""
+
+
+# --------------------------------------------------------------------- #
+# live migration
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class MigrationStarted(TelemetryEvent):
+    """A live-migration attempt began (outcome not yet known)."""
+
+    kind: ClassVar[str] = "migration_started"
+
+    vm_id: int
+    source_pm: int
+    target_pm: int
+
+
+@register
+@dataclass(frozen=True)
+class MigrationCompleted(TelemetryEvent):
+    """A live migration landed; the VM now runs on ``target_pm``."""
+
+    kind: ClassVar[str] = "migration_completed"
+
+    vm_id: int
+    source_pm: int
+    target_pm: int
+
+
+@register
+@dataclass(frozen=True)
+class MigrationFailed(TelemetryEvent):
+    """A migration aborted mid-flight; the VM stays on ``source_pm``."""
+
+    kind: ClassVar[str] = "migration_failed"
+
+    vm_id: int
+    source_pm: int
+    target_pm: int
+    consecutive_failures: int = 1
+    backoff_intervals: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class TargetBlacklisted(TelemetryEvent):
+    """A flapping target PM was vetoed for future migrations."""
+
+    kind: ClassVar[str] = "target_blacklisted"
+
+    pm_id: int
+    until_time: int
+
+
+# --------------------------------------------------------------------- #
+# failures and recovery
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class PMCrashed(TelemetryEvent):
+    """A PM failed; ``blast_radius`` VMs were resident when it died.
+
+    ``domain`` is the fault-domain index for correlated outages, or -1 for
+    an independent crash.
+    """
+
+    kind: ClassVar[str] = "pm_crashed"
+
+    pm_id: int
+    blast_radius: int = 0
+    domain: int = -1
+
+
+@register
+@dataclass(frozen=True)
+class PMRepaired(TelemetryEvent):
+    """A failed PM came back after ``downtime_intervals`` intervals."""
+
+    kind: ClassVar[str] = "pm_repaired"
+
+    pm_id: int
+    downtime_intervals: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class VMStranded(TelemetryEvent):
+    """Evacuation failed everywhere: the VM sits unserved on dead hardware."""
+
+    kind: ClassVar[str] = "vm_stranded"
+
+    vm_id: int
+    pm_id: int
+
+
+@register
+@dataclass(frozen=True)
+class DegradationApplied(TelemetryEvent):
+    """A VM was throttled to base demand ``R_b`` to fit on ``pm_id``."""
+
+    kind: ClassVar[str] = "degradation_applied"
+
+    vm_id: int
+    pm_id: int
+
+
+@register
+@dataclass(frozen=True)
+class ServiceRestored(TelemetryEvent):
+    """A stranded or degraded VM returned to (full) service.
+
+    ``reason`` is one of ``"headroom"`` (a throttled VM was promoted back
+    to full demand), ``"evacuated"`` (a stranded VM found a healthy host)
+    or ``"host_recovered"`` (the failed PM under a stranded VM repaired).
+    """
+
+    kind: ClassVar[str] = "service_restored"
+
+    vm_id: int
+    pm_id: int
+    reason: str = "headroom"
+
+
+# --------------------------------------------------------------------- #
+# capacity and control plane
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class CapacityViolation(TelemetryEvent):
+    """A PM's aggregate demand exceeded its capacity this interval."""
+
+    kind: ClassVar[str] = "capacity_violation"
+
+    pm_id: int
+    load: float
+    capacity: float
+
+
+@register
+@dataclass(frozen=True)
+class ReconsolidationTriggered(TelemetryEvent):
+    """A periodic global re-plan ran and executed part of its move list."""
+
+    kind: ClassVar[str] = "reconsolidation_triggered"
+
+    planned_moves: int
+    executed_moves: int

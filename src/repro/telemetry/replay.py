@@ -1,0 +1,45 @@
+"""Replay helpers: recompute run-level counters from an event log.
+
+The acceptance contract of the event stream is that it is *sufficient*: the
+headline counters a :class:`~repro.simulation.scenario.ScenarioReport`
+prints (migrations, crashes, capacity violations, ...) must be exactly
+recomputable from the events alone.  :func:`replay_summary` does that
+recomputation; the test suite asserts the two bookkeeping paths agree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Iterable
+
+from repro.telemetry.events import TelemetryEvent
+
+
+def count_by_kind(events: Iterable[TelemetryEvent]) -> dict[str, int]:
+    """Number of events of each ``kind``."""
+    return dict(TallyCounter(e.kind for e in events))
+
+
+def replay_summary(events: Iterable[TelemetryEvent]) -> dict[str, int]:
+    """Recompute the run's headline counters from its event stream.
+
+    Returns a dict with the counters a scenario report also tracks:
+    ``migrations`` (completed), ``failed_migrations``, ``crashes``,
+    ``repairs``, ``capacity_violations``, ``degradations``,
+    ``strandings``, ``restorations``, ``blacklistings``,
+    ``reconsolidations`` and ``vms_placed``.
+    """
+    kinds = count_by_kind(events)
+    return {
+        "vms_placed": kinds.get("vm_placed", 0),
+        "migrations": kinds.get("migration_completed", 0),
+        "failed_migrations": kinds.get("migration_failed", 0),
+        "crashes": kinds.get("pm_crashed", 0),
+        "repairs": kinds.get("pm_repaired", 0),
+        "capacity_violations": kinds.get("capacity_violation", 0),
+        "degradations": kinds.get("degradation_applied", 0),
+        "strandings": kinds.get("vm_stranded", 0),
+        "restorations": kinds.get("service_restored", 0),
+        "blacklistings": kinds.get("target_blacklisted", 0),
+        "reconsolidations": kinds.get("reconsolidation_triggered", 0),
+    }

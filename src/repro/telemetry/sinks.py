@@ -1,0 +1,116 @@
+"""Event sinks: where emitted telemetry events go.
+
+Three sinks cover the spectrum the tracing workflows need:
+
+- :class:`NullSink` — the default; swallows everything, so an untraced run
+  pays essentially nothing (the bus short-circuits before events are even
+  constructed);
+- :class:`RingBufferSink` — in-memory buffer (optionally bounded) for tests
+  and interactive inspection;
+- :class:`JSONLSink` — one JSON object per line, replayable afterwards with
+  :func:`read_events`.
+
+Sinks are intentionally dumb: ordering, filtering and fan-out live in
+:class:`repro.telemetry.bus.EventBus`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Protocol, runtime_checkable
+
+from repro.telemetry.events import TelemetryEvent, event_from_dict
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can receive emitted events."""
+
+    def emit(self, event: TelemetryEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class NullSink:
+    """Discards every event (the zero-overhead default)."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory (all of them if None)."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._buffer: deque[TelemetryEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self._buffer.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def events(self) -> list[TelemetryEvent]:
+        """Snapshot of the buffered events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all buffered events."""
+        self._buffer.clear()
+
+
+class JSONLSink:
+    """Appends each event as one JSON line to a file (replayable log)."""
+
+    def __init__(self, path: str | Path, *, append: bool = False):
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("a" if append else "w")
+        self.n_written = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"JSONLSink({self.path}) is closed")
+        self._fh.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._fh.write("\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[TelemetryEvent]:
+    """Replay a JSONL event log back into typed event objects."""
+    events: list[TelemetryEvent] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def iter_events(lines: Iterable[str]) -> Iterable[TelemetryEvent]:
+    """Stream-parse JSONL lines into events (for large logs)."""
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))

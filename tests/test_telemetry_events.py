@@ -1,0 +1,113 @@
+"""Event model: typing, registry, serialization, bus semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    EVENT_TYPES,
+    PRE_RUN,
+    CapacityViolation,
+    DegradationApplied,
+    EventBus,
+    MigrationCompleted,
+    MigrationFailed,
+    MigrationStarted,
+    NullSink,
+    PMCrashed,
+    PMRepaired,
+    ReconsolidationTriggered,
+    RingBufferSink,
+    ServiceRestored,
+    TargetBlacklisted,
+    TelemetryEvent,
+    VMPlaced,
+    VMStranded,
+    event_from_dict,
+)
+
+SAMPLES = [
+    VMPlaced(time=PRE_RUN, vm_id=3, pm_id=1, placer="QUEUE"),
+    MigrationStarted(time=0, vm_id=1, source_pm=0, target_pm=2),
+    MigrationCompleted(time=0, vm_id=1, source_pm=0, target_pm=2),
+    MigrationFailed(time=1, vm_id=1, source_pm=0, target_pm=2,
+                    consecutive_failures=2, backoff_intervals=4),
+    TargetBlacklisted(time=2, pm_id=2, until_time=7),
+    PMCrashed(time=3, pm_id=0, blast_radius=4, domain=1),
+    PMRepaired(time=9, pm_id=0, downtime_intervals=6),
+    VMStranded(time=3, vm_id=5, pm_id=0),
+    DegradationApplied(time=3, vm_id=5, pm_id=1),
+    ServiceRestored(time=8, vm_id=5, pm_id=1, reason="headroom"),
+    CapacityViolation(time=4, pm_id=1, load=120.0, capacity=100.0),
+    ReconsolidationTriggered(time=10, planned_moves=3, executed_moves=2),
+]
+
+
+class TestEventModel:
+    def test_every_registered_kind_round_trips(self):
+        assert {e.kind for e in SAMPLES} == set(EVENT_TYPES)
+        for event in SAMPLES:
+            restored = event_from_dict(event.to_dict())
+            assert restored == event
+            assert type(restored) is type(event)
+
+    def test_to_dict_carries_kind(self):
+        e = VMPlaced(time=PRE_RUN, vm_id=3, pm_id=1, placer="FFD")
+        d = e.to_dict()
+        assert d["kind"] == "vm_placed"
+        assert d["vm_id"] == 3 and d["pm_id"] == 1 and d["time"] == PRE_RUN
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "no_such_event", "time": 0})
+
+    def test_events_are_frozen(self):
+        e = PMCrashed(time=4, pm_id=2)
+        with pytest.raises(AttributeError):
+            e.pm_id = 9
+
+    def test_registry_covers_paper_lifecycle(self):
+        # The kinds the replay layer depends on must stay registered.
+        for kind in ("vm_placed", "migration_started", "migration_completed",
+                     "migration_failed", "pm_crashed", "pm_repaired",
+                     "capacity_violation", "degradation_applied",
+                     "vm_stranded", "service_restored", "target_blacklisted",
+                     "reconsolidation_triggered"):
+            assert kind in EVENT_TYPES
+            assert issubclass(EVENT_TYPES[kind], TelemetryEvent)
+
+
+class TestEventBus:
+    def test_disabled_without_sinks(self):
+        bus = EventBus([])
+        assert not bus.enabled
+        bus.emit(PMCrashed(time=0, pm_id=0))
+        assert bus.emitted == 0
+
+    def test_null_sink_counts_as_absence(self):
+        bus = EventBus([NullSink()])
+        assert not bus.enabled
+        bus.emit(PMCrashed(time=0, pm_id=0))
+        assert bus.emitted == 0
+
+    def test_fan_out_to_every_sink(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        bus = EventBus([a, b])
+        assert bus.enabled
+        bus.emit(MigrationCompleted(time=1, vm_id=0, source_pm=0, target_pm=1))
+        assert len(a) == len(b) == 1
+        assert bus.emitted == 1
+
+    def test_ring_buffer_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for t in range(10):
+            sink.emit(PMCrashed(time=t, pm_id=0))
+        assert len(sink) == 3
+        assert [e.time for e in sink.events] == [7, 8, 9]
+
+    def test_migration_failed_carries_backoff_facts(self):
+        e = MigrationFailed(time=2, vm_id=1, source_pm=0, target_pm=3,
+                            consecutive_failures=2, backoff_intervals=4)
+        d = e.to_dict()
+        assert d["consecutive_failures"] == 2
+        assert d["backoff_intervals"] == 4

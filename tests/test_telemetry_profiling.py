@@ -1,0 +1,93 @@
+"""Profiling spans: tree shape, activation scoping, near-zero off cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Profiler, active_profiler, timed
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        prof = Profiler()
+        with prof:
+            with timed("outer"):
+                with timed("inner"):
+                    pass
+                with timed("inner"):
+                    pass
+        outer = prof.root.children["outer"]
+        assert outer.count == 1
+        inner = outer.children["inner"]
+        assert inner.count == 2
+        assert inner.total_seconds <= outer.total_seconds
+        assert outer.self_seconds == pytest.approx(
+            outer.total_seconds - inner.total_seconds)
+
+    def test_siblings_not_merged(self):
+        prof = Profiler()
+        with prof:
+            with timed("a"):
+                with timed("leaf"):
+                    pass
+            with timed("b"):
+                with timed("leaf"):
+                    pass
+        assert "leaf" in prof.root.children["a"].children
+        assert "leaf" in prof.root.children["b"].children
+
+    def test_summary_lists_all_spans(self):
+        prof = Profiler()
+        with prof:
+            with timed("solve"):
+                pass
+        text = prof.summary()
+        assert "solve" in text
+        assert "calls" in text
+
+    def test_to_dict_is_json_shaped(self):
+        prof = Profiler()
+        with prof:
+            with timed("x"):
+                pass
+        d = prof.root.to_dict()
+        (child,) = d["children"]
+        assert child["name"] == "x"
+        assert child["count"] == 1
+
+
+class TestActivation:
+    def test_timed_is_noop_without_active_profiler(self):
+        assert active_profiler() is None
+        with timed("ignored"):
+            pass
+        assert active_profiler() is None
+
+    def test_activation_scoped_to_with_block(self):
+        prof = Profiler()
+        with prof:
+            assert active_profiler() is prof
+        assert active_profiler() is None
+        assert prof.empty  # nothing was timed inside
+
+    def test_reentrant_activation_restores_outer(self):
+        outer, inner = Profiler(), Profiler()
+        with outer:
+            with inner:
+                with timed("deep"):
+                    pass
+            assert active_profiler() is outer
+            with timed("shallow"):
+                pass
+        assert "deep" in inner.root.children
+        assert "shallow" in outer.root.children
+        assert "deep" not in outer.root.children
+
+    def test_exception_inside_span_still_restores(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with prof:
+                with timed("boom"):
+                    raise RuntimeError("x")
+        assert active_profiler() is None
+        assert prof.root.children["boom"].count == 1
