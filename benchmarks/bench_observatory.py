@@ -1,0 +1,71 @@
+"""Benchmark: per-interval overhead of the run observatory.
+
+The observatory must be cheap enough to leave attached on every run: one
+interval of recorder + SLO + drift work is a few dict updates and ring
+pushes.  This benchmark drives a pre-generated snapshot stream through a
+full Observatory and reports intervals/second, and asserts the per-tick
+budget stays well under the simulator's own tick cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.observability import Observatory
+from repro.telemetry.events import CapacityViolation, IntervalSnapshot
+
+N_PMS = 25
+N_TICKS = 2_000
+
+
+def _event_stream(seed: int = 2013):
+    """Pre-generate a plausible snapshot stream (not timed)."""
+    rng = np.random.default_rng(seed)
+    pm_ids = tuple(range(N_PMS))
+    caps = (100.0,) * N_PMS
+    hosted = (16,) * N_PMS
+    expected_on = (1.6,) * N_PMS
+    expected_var = (27.4,) * N_PMS
+    events = []
+    for t in range(N_TICKS):
+        on = rng.binomial(16, 0.1, size=N_PMS)
+        loads = 60.0 + 25.0 * on
+        violated = np.flatnonzero(loads > 100.0 + 1e-9)
+        for pm in violated[:3]:
+            events.append(CapacityViolation(
+                time=t, pm_id=int(pm), load=float(loads[pm]),
+                capacity=100.0))
+        events.append(IntervalSnapshot(
+            time=t, pm_ids=pm_ids, loads=tuple(float(x) for x in loads),
+            capacities=caps, hosted=hosted,
+            on_vms=tuple(int(x) for x in on),
+            expected_on=expected_on, expected_var=expected_var,
+            overloaded=int(violated.size)))
+    return events
+
+
+def test_observatory_ingest_throughput(benchmark, save_result):
+    events = _event_stream()
+
+    def ingest():
+        obs = Observatory(emit=False)
+        for event in events:
+            obs.observe(event)
+        return obs
+
+    obs = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert obs.recorder.ticks == N_TICKS
+
+    per_tick_us = benchmark.stats.stats.mean / N_TICKS * 1e6
+    lines = [
+        f"observatory ingest: {N_TICKS} intervals x {N_PMS} PMs",
+        f"mean per-interval cost: {per_tick_us:.1f} us",
+        f"alerts fired: {obs.slo.fired_total}, "
+        f"drift flags: {len(obs.drift.flagged_pms)}",
+        f"recorder memory: {sum(len(c) for c in obs.recorder.charts.values())}"
+        f" chart points, {len(obs.recorder.pms)} PM states",
+    ]
+    save_result("\n".join(lines), name="observatory")
+
+    # budget: an interval of observatory work stays under 1 ms
+    assert per_tick_us < 1000.0

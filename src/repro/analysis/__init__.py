@@ -8,6 +8,8 @@
   rendering shared by the benchmark harness.
 - :mod:`repro.analysis.availability` — per-VM availability ("nines"),
   MTTR and blast-radius statistics from failure-injected runs.
+- :mod:`repro.analysis.regression` — run-to-run metric diffs over
+  recorded telemetry traces (``python -m repro compare``).
 """
 
 from repro.analysis.availability import (
@@ -27,6 +29,12 @@ from repro.analysis.fairness import (
     gini_coefficient,
     jains_index,
     max_share,
+)
+from repro.analysis.regression import (
+    MetricDelta,
+    regression_diff,
+    run_summary,
+    summarize_observatory,
 )
 from repro.analysis.report import ExperimentResult, render_result
 from repro.analysis.stats import (
@@ -57,4 +65,8 @@ __all__ = [
     "evaluate_placement_cvr",
     "ExperimentResult",
     "render_result",
+    "MetricDelta",
+    "regression_diff",
+    "run_summary",
+    "summarize_observatory",
 ]

@@ -16,6 +16,13 @@ Operate on files (the production-shaped workflow):
 ``fit`` consumes a CSV trace matrix (see ``repro.workload.io``) and writes
 an instance whose PM fleet defaults to one 100-unit PM per VM;
 ``consolidate`` places it with QueuingFFD and reports the packing.
+
+Watch and diff runs (the observability plane):
+
+    python -m repro dashboard fig6 --follow            # live panels
+    python -m repro dashboard fig6_cvr --once --html obs.html
+    python -m repro dashboard x --from-jsonl run.jsonl # replay a trace
+    python -m repro compare base.jsonl new.jsonl       # regression diff
 """
 
 from __future__ import annotations
@@ -139,6 +146,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress the experiment table, print only "
                             "the telemetry digest")
 
+    dash = sub.add_parser(
+        "dashboard",
+        help="run observatory: live panels, SLO alerts, drift detection")
+    dash.add_argument("experiment",
+                      help="experiment recipe (e.g. fig6, fig6_cvr) — "
+                           "ignored with --from-jsonl")
+    mode = dash.add_mutually_exclusive_group()
+    mode.add_argument("--follow", action="store_true",
+                      help="repaint panels while the run executes (default)")
+    mode.add_argument("--from-jsonl", type=Path, default=None,
+                      help="render from a recorded trace; no simulator runs")
+    dash.add_argument("--once", action="store_true",
+                      help="run silently, print only the final frame")
+    dash.add_argument("--html", type=Path, default=None,
+                      help="also write a self-contained HTML page here")
+    dash.add_argument("--jsonl", type=Path, default=None,
+                      help="record the observed run's event stream here")
+    dash.add_argument("-n", "--intervals", type=int, default=240,
+                      help="intervals to simulate (live modes)")
+    dash.add_argument("--seed", type=int, default=2013)
+    dash.add_argument("--refresh", type=int, default=10,
+                      help="repaint every this many intervals (--follow)")
+    dash.add_argument("--rho", type=float, default=0.01,
+                      help="CVR error budget for the default SLO rules")
+    dash.add_argument("--rules", type=Path, default=None,
+                      help="YAML/JSON SLO rule file (see EXPERIMENTS.md)")
+    dash.add_argument("--overcommit", type=float, default=1.0,
+                      help="divide PM capacity by this factor "
+                           "(>1 forces CVR budget burn)")
+    dash.add_argument("--inject-drift", type=float, default=None,
+                      metavar="P_ON",
+                      help="shift every VM's p_on to this value mid-run")
+    dash.add_argument("--drift-at", type=int, default=0,
+                      help="interval at which --inject-drift applies")
+
+    comp = sub.add_parser(
+        "compare",
+        help="regression-diff two recorded JSONL traces (exit 1 on "
+             "regression)")
+    comp.add_argument("baseline", type=Path)
+    comp.add_argument("candidate", type=Path)
+    comp.add_argument("--rtol", type=float, default=0.05,
+                      help="relative tolerance below which a metric is "
+                           "'unchanged'")
+    comp.add_argument("--all", action="store_true", dest="show_unchanged",
+                      help="also list unchanged metrics")
+
     sub.add_parser("claims",
                    help="machine-check the paper's headline claims")
     return parser
@@ -225,6 +279,34 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_dashboard(args) -> int:
+    from repro.observability.dashboard import run_dashboard
+
+    return run_dashboard(
+        args.experiment,
+        n_intervals=args.intervals,
+        seed=args.seed,
+        refresh=args.refresh,
+        once=args.once,
+        follow=args.follow,
+        from_jsonl=args.from_jsonl,
+        html=args.html,
+        jsonl_out=args.jsonl,
+        overcommit=args.overcommit,
+        inject_drift=args.inject_drift,
+        drift_at=args.drift_at,
+        rules_path=args.rules,
+        rho=args.rho,
+    )
+
+
+def _cmd_compare(args) -> int:
+    from repro.observability.compare import run_compare
+
+    return run_compare(args.baseline, args.candidate, rtol=args.rtol,
+                       show_unchanged=args.show_unchanged)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -238,6 +320,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_consolidate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "claims":
         from repro.experiments.claims import verify_claims
 

@@ -1,0 +1,85 @@
+"""``python -m repro compare A.jsonl B.jsonl`` — regression diff renderer.
+
+Replays two recorded traces through the observatory (no simulator
+execution), reduces each to the flat summary of
+:func:`repro.analysis.regression.run_summary`, and renders the
+:func:`~repro.analysis.regression.regression_diff` as an aligned table
+plus the two alert timelines side by side.  Exit code 1 when any metric
+regressed — so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.regression import regression_diff, summarize_observatory
+from repro.observability.observatory import Observatory
+from repro.utils.tables import format_table
+
+__all__ = ["render_comparison", "run_compare"]
+
+_MARK = {"regression": "!!", "improvement": "ok", "changed": "~", "unchanged": ""}
+
+
+def _alert_lines(label: str, obs: Observatory) -> list[str]:
+    lines = [f"{label}:"]
+    if not obs.slo.timeline:
+        lines.append("  (no alerts)")
+        return lines
+    for span in obs.slo.timeline:
+        end = span.resolved_at if span.resolved_at is not None else "…"
+        lines.append(
+            f"  {span.rule} [{span.severity}] {span.fired_at}..{end} "
+            f"peak burn {span.peak_burn_fast:.1f}x")
+    return lines
+
+
+def render_comparison(baseline: str | Path, candidate: str | Path, *,
+                      rtol: float = 0.05, show_unchanged: bool = False
+                      ) -> tuple[str, bool]:
+    """Render the diff; returns ``(text, any_regression)``."""
+    obs_a = Observatory.from_jsonl(baseline)
+    obs_b = Observatory.from_jsonl(candidate)
+    a = summarize_observatory(obs_a)
+    b = summarize_observatory(obs_b)
+    deltas = regression_diff(a, b, rtol=rtol)
+    shown = [d for d in deltas
+             if show_unchanged or d.verdict != "unchanged"]
+    lines = [f"baseline : {baseline}", f"candidate: {candidate}", ""]
+    if shown:
+        rows = [
+            [d.metric, d.baseline, d.candidate, d.delta,
+             f"{d.relative:+.1%}" if d.relative not in (float("inf"),)
+             else "new", _MARK[d.verdict]]
+            for d in shown
+        ]
+        lines.append(format_table(
+            ["metric", "baseline", "candidate", "delta", "rel", ""],
+            rows, floatfmt=".4f",
+            title=f"metric deltas (rtol={rtol:g}; !! = regression)"))
+    else:
+        lines.append(f"no metric moved beyond rtol={rtol:g}")
+    lines.append("")
+    lines.extend(_alert_lines("baseline alerts", obs_a))
+    lines.extend(_alert_lines("candidate alerts", obs_b))
+    regressed = any(d.verdict == "regression" for d in deltas)
+    lines.append("")
+    lines.append("verdict: "
+                 + ("REGRESSION" if regressed else "no regressions"))
+    return "\n".join(lines), regressed
+
+
+def run_compare(baseline: str | Path, candidate: str | Path, *,
+                rtol: float = 0.05, show_unchanged: bool = False,
+                stream=None) -> int:
+    """CLI driver; exit code 1 on regression."""
+    stream = stream if stream is not None else sys.stdout
+    for path in (baseline, candidate):
+        if not Path(path).exists():
+            print(f"error: no such trace file: {path}", file=stream)
+            return 2
+    text, regressed = render_comparison(
+        baseline, candidate, rtol=rtol, show_unchanged=show_unchanged)
+    print(text, file=stream)
+    return 1 if regressed else 0

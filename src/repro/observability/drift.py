@@ -1,0 +1,173 @@
+"""Model-drift detection: is the fleet still the one MapCal consolidated?
+
+MapCal sizes every consolidation against the Geom/Geom/K stationary
+distribution Pi implied by each VM's declared ``(p_on, p_off)``.  If
+workloads change underneath — VMs turn ON more often than their spec says
+— the CVR bound the packing guarantees silently stops holding long before
+violations pile up.  The :class:`DriftDetector` is the early warning.
+
+Per PM it accumulates, from :class:`~repro.telemetry.events.IntervalSnapshot`
+events, the observed ON-count sum ``O``, the assumed expectation ``E`` and
+the assumed variance ``V``, and at the end of each evaluation window forms
+the sequential chi-square-style statistic::
+
+    X = (O - E)^2 / V
+
+Under the assumed law ``X`` is approximately chi-square(1) (the windowed
+ON-count sum is close to normal for tens of VMs x tens of intervals), so
+``X > threshold`` with ``threshold ~= 10-12`` is a ~1e-3 per-window
+false-positive rate per PM.  Requiring ``consecutive`` over-threshold
+windows before flagging squares that away (~1e-6) while still flagging a
+genuinely drifted PM within 2-3 windows.
+
+The crucial subtlety is ``V``: ON states of a two-state Markov chain are
+*autocorrelated* across intervals (lag-1 correlation ``r = 1 - p_on -
+p_off``), which inflates the variance of the windowed occupation time by
+``(1 + r) / (1 - r)`` versus an i.i.d. Bernoulli sum — a factor ~19 for
+the paper's defaults (p_on=0.01, p_off=0.09).  The snapshot's
+``expected_var`` field carries that correctly inflated per-interval
+variance rate (frozen at Datacenter construction, so runtime drift of the
+dynamics cannot contaminate the null); a naive binomial variance here
+would page on every stationary run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.context import resolve
+from repro.telemetry.events import DriftDetected, IntervalSnapshot
+
+__all__ = ["DriftDetector", "PMDriftState"]
+
+
+@dataclass
+class PMDriftState:
+    """Accumulators and verdicts for one PM."""
+
+    pm_id: int
+    observed: float = 0.0
+    expected: float = 0.0
+    variance: float = 0.0
+    hosted: float = 0.0
+    samples: int = 0
+    #: consecutive evaluation windows with statistic > threshold
+    streak: int = 0
+    windows: int = 0
+    flagged: bool = False
+    last_statistic: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    def reset_window(self) -> None:
+        self.observed = 0.0
+        self.expected = 0.0
+        self.variance = 0.0
+        self.hosted = 0.0
+        self.samples = 0
+
+
+class DriftDetector:
+    """Sequential per-PM chi-square test of observed vs assumed ON counts.
+
+    Parameters
+    ----------
+    window:
+        Evaluation window length in recorded intervals.
+    threshold:
+        Chi-square(1) critical value per window; 10.83 is the classic
+        p ~= 0.001 point.
+    consecutive:
+        Over-threshold windows required before a PM is flagged (flags
+        latch: a PM is reported once).
+    min_samples:
+        Minimum accumulated samples before a window may be judged; windows
+        with fewer (PM powered off / just provisioned) roll their
+        accumulators into the next window instead of voting.
+    telemetry:
+        Facade to emit :class:`DriftDetected` through; ambient default
+        when omitted.
+    emit:
+        When False (replay mode) detections are recorded but not re-emitted.
+    """
+
+    def __init__(self, *, window: int = 30, threshold: float = 10.83,
+                 consecutive: int = 2, min_samples: int = 10,
+                 telemetry=None, emit: bool = True):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        if consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {consecutive}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.window = window
+        self.threshold = threshold
+        self.consecutive = consecutive
+        self.min_samples = min_samples
+        self._telemetry = telemetry
+        self._emit = emit
+        self.pms: dict[int, PMDriftState] = {}
+        #: DriftDetected events produced so far, chronological
+        self.detections: list[DriftDetected] = []
+        self._ticks = 0
+
+    @property
+    def flagged_pms(self) -> list[int]:
+        """PMs currently flagged as drifted, ascending."""
+        return sorted(p.pm_id for p in self.pms.values() if p.flagged)
+
+    def observe(self, snap: IntervalSnapshot) -> list[DriftDetected]:
+        """Accumulate one interval; evaluate at window boundaries."""
+        for i, pm_id in enumerate(snap.pm_ids):
+            state = self.pms.get(pm_id)
+            if state is None:
+                state = self.pms[pm_id] = PMDriftState(pm_id)
+            state.observed += snap.on_vms[i]
+            state.expected += snap.expected_on[i]
+            state.variance += snap.expected_var[i]
+            state.hosted += snap.hosted[i]
+            state.samples += 1
+        self._ticks += 1
+        if self._ticks % self.window == 0:
+            return self._evaluate(snap.time)
+        return []
+
+    def _evaluate(self, time: int) -> list[DriftDetected]:
+        fired: list[DriftDetected] = []
+        for state in self.pms.values():
+            if state.samples < self.min_samples or state.variance <= 0:
+                # not enough evidence this window — keep accumulating into
+                # the next one rather than voting on noise
+                continue
+            statistic = (state.observed - state.expected) ** 2 / state.variance
+            state.last_statistic = statistic
+            state.history.append(statistic)
+            state.windows += 1
+            if statistic > self.threshold:
+                state.streak += 1
+            else:
+                state.streak = 0
+            if state.streak >= self.consecutive and not state.flagged:
+                state.flagged = True
+                event = DriftDetected(
+                    time=time,
+                    pm_id=state.pm_id,
+                    statistic=statistic,
+                    threshold=self.threshold,
+                    observed_on_fraction=(
+                        state.observed / state.hosted if state.hosted else 0.0
+                    ),
+                    expected_on_fraction=(
+                        state.expected / state.hosted if state.hosted else 0.0
+                    ),
+                    windows=state.streak,
+                )
+                self.detections.append(event)
+                fired.append(event)
+            state.reset_window()
+        if self._emit and fired:
+            tel = self._telemetry if self._telemetry is not None else resolve()
+            for event in fired:
+                tel.events.emit(event)
+        return fired

@@ -1,0 +1,269 @@
+"""Time-series recorder: event stream -> bounded rolling aggregates.
+
+The :class:`TimeSeriesRecorder` is the observatory's memory.  It consumes
+the telemetry event stream (live off the bus, or replayed from JSONL) and
+maintains, in bounded space:
+
+- fleet-wide :class:`~repro.observability.series.RollingWindow` rings of
+  the burn-relevant per-interval counts (capacity violations, migrations,
+  powered-on PMs, overloaded PMs) — what the SLO engine's multi-window
+  burn rates are computed over;
+- :class:`~repro.observability.series.TieredSeries` chart series
+  (mean utilization, observed vs expected ON-fraction, fleet size,
+  migration and overload counts) — what the dashboard plots;
+- per-PM state: recent violation windows, presence, last utilization and
+  headroom — what the "worst offenders" panel ranks.
+
+Per-interval :class:`~repro.telemetry.events.IntervalSnapshot` events are
+the clock: point events (violations, migrations) arriving for interval
+``t`` are buffered until the snapshot for ``t`` lands, then folded into
+the windows as one finalized tick.  This makes live and replayed ingestion
+produce identical recorder state — events within an interval always
+precede its snapshot in the stream, in both modes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.observability.series import RollingWindow, TieredSeries
+from repro.telemetry.events import (
+    CapacityViolation,
+    IntervalSnapshot,
+    MigrationCompleted,
+    PMCrashed,
+    PMRepaired,
+    TelemetryEvent,
+)
+
+__all__ = ["PMState", "TimeSeriesRecorder"]
+
+#: burn metrics :meth:`TimeSeriesRecorder.burn` understands
+BURN_METRICS = ("cvr", "migration_churn")
+
+
+class PMState:
+    """Recent history of one PM, bounded by the recorder's window size."""
+
+    __slots__ = ("pm_id", "violations", "utilization", "load", "capacity",
+                 "on_vms", "hosted", "alive", "last_seen")
+
+    def __init__(self, pm_id: int, window: int):
+        self.pm_id = pm_id
+        #: 1.0 for each recent interval the PM violated capacity
+        self.violations = RollingWindow(window)
+        self.utilization = 0.0
+        self.load = 0.0
+        self.capacity = 0.0
+        self.on_vms = 0
+        self.hosted = 0
+        self.alive = True
+        self.last_seen = -1
+
+    @property
+    def headroom(self) -> float:
+        """Spare capacity this interval (negative when overloaded)."""
+        return self.capacity - self.load
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of recent observed intervals in violation."""
+        return self.violations.mean
+
+
+class TimeSeriesRecorder:
+    """Rolling-window aggregates over the telemetry event stream.
+
+    Parameters
+    ----------
+    window:
+        Size of the fleet/per-PM rolling windows, in intervals.  Must be at
+        least as long as the slowest SLO burn window evaluated against this
+        recorder.
+    chart_points:
+        Raw head size of each chart :class:`TieredSeries`.
+    """
+
+    def __init__(self, window: int = 240, *, chart_points: int = 240):
+        self.window = window
+        # --- fleet rolling windows (one sample per finalized interval) ---
+        #: count of PMs in capacity violation each interval
+        self.violated = RollingWindow(window)
+        #: count of powered-on PMs each interval
+        self.on_pms = RollingWindow(window)
+        #: migrations completed each interval
+        self.migrations = RollingWindow(window)
+        #: PMs whose load exceeded capacity per the snapshot
+        self.overloaded = RollingWindow(window)
+        # --- chart series ---
+        self.charts: dict[str, TieredSeries] = {
+            name: TieredSeries(raw=chart_points)
+            for name in ("utilization", "on_fraction", "on_fraction_expected",
+                         "pms_on", "migrations", "overloaded", "violations")
+        }
+        # --- per-PM state ---
+        self.pms: dict[int, PMState] = {}
+        # --- event accounting ---
+        self.totals: dict[str, int] = defaultdict(int)
+        self.ticks = 0
+        self.last_time = -1
+        self.last_snapshot: IntervalSnapshot | None = None
+        # point events buffered until their interval's snapshot arrives
+        self._pending_violations: dict[int, list[CapacityViolation]] = \
+            defaultdict(list)
+        self._pending_migrations: dict[int, int] = defaultdict(int)
+
+    # ----------------------------------------------------------------- #
+    # ingestion
+    # ----------------------------------------------------------------- #
+    def on_event(self, event: TelemetryEvent) -> None:
+        """Ingest one telemetry event (bus callback / replay loop body)."""
+        self.totals[event.kind] += 1
+        if isinstance(event, IntervalSnapshot):
+            self._finalize(event)
+        elif isinstance(event, CapacityViolation):
+            self._pending_violations[event.time].append(event)
+        elif isinstance(event, MigrationCompleted):
+            self._pending_migrations[event.time] += 1
+        elif isinstance(event, PMCrashed):
+            state = self._pm(event.pm_id)
+            state.alive = False
+        elif isinstance(event, PMRepaired):
+            state = self._pm(event.pm_id)
+            state.alive = True
+
+    def _pm(self, pm_id: int) -> PMState:
+        state = self.pms.get(pm_id)
+        if state is None:
+            state = self.pms[pm_id] = PMState(pm_id, self.window)
+        return state
+
+    def _finalize(self, snap: IntervalSnapshot) -> None:
+        """Fold one interval's buffered events + snapshot into the windows."""
+        t = snap.time
+        violations = self._pending_violations.pop(t, [])
+        migrations = self._pending_migrations.pop(t, 0)
+        # drop buffers for intervals that never got a snapshot (snapshot
+        # cadence > 1): they are already counted in totals, and keeping
+        # them would grow without bound
+        stale = [k for k in self._pending_violations if k < t]
+        for k in stale:
+            del self._pending_violations[k]
+        stale = [k for k in self._pending_migrations if k < t]
+        for k in stale:
+            del self._pending_migrations[k]
+
+        violated_pms = {v.pm_id for v in violations}
+        n_on = len(snap.pm_ids)
+
+        # fleet windows
+        self.violated.push(len(violated_pms))
+        self.on_pms.push(n_on)
+        self.migrations.push(max(migrations, snap.migrations))
+        self.overloaded.push(snap.overloaded)
+
+        # per-PM state
+        seen = set()
+        total_load = 0.0
+        total_cap = 0.0
+        total_on = 0
+        total_hosted = 0
+        expected_on = 0.0
+        for i, pm_id in enumerate(snap.pm_ids):
+            state = self._pm(pm_id)
+            state.load = snap.loads[i]
+            state.capacity = snap.capacities[i]
+            state.utilization = (
+                snap.loads[i] / snap.capacities[i] if snap.capacities[i] else 0.0
+            )
+            state.on_vms = snap.on_vms[i]
+            state.hosted = snap.hosted[i]
+            state.last_seen = t
+            state.violations.push(1.0 if pm_id in violated_pms else 0.0)
+            seen.add(pm_id)
+            total_load += snap.loads[i]
+            total_cap += snap.capacities[i]
+            total_on += snap.on_vms[i]
+            total_hosted += snap.hosted[i]
+            expected_on += snap.expected_on[i]
+
+        # charts
+        self.charts["utilization"].push(
+            t, total_load / total_cap if total_cap else 0.0)
+        self.charts["on_fraction"].push(
+            t, total_on / total_hosted if total_hosted else 0.0)
+        self.charts["on_fraction_expected"].push(
+            t, expected_on / total_hosted if total_hosted else 0.0)
+        self.charts["pms_on"].push(t, n_on)
+        self.charts["migrations"].push(t, self.migrations.last)
+        self.charts["overloaded"].push(t, snap.overloaded)
+        self.charts["violations"].push(t, len(violated_pms))
+
+        self.ticks += 1
+        self.last_time = t
+        self.last_snapshot = snap
+
+    # ----------------------------------------------------------------- #
+    # queries
+    # ----------------------------------------------------------------- #
+    def burn(self, metric: str, window: int, budget: float) -> float:
+        """Burn rate of ``metric`` over the last ``window`` intervals.
+
+        A burn rate of 1.0 means the metric is consuming its ``budget``
+        exactly as fast as allowed; 14.0 means fourteen times too fast
+        (the classic fast-window page threshold).  Returns 0.0 until any
+        interval has been recorded.
+
+        Metrics
+        -------
+        ``"cvr"``
+            Capacity-violation ratio: violated PM-intervals over powered-on
+            PM-intervals, relative to the tolerated rho (``budget``).
+        ``"migration_churn"``
+            Completed migrations per powered-on PM-interval, relative to
+            the tolerated migration rate (``budget``).
+        """
+        if metric not in BURN_METRICS:
+            raise ValueError(
+                f"unknown burn metric {metric!r}; known: {BURN_METRICS}")
+        if budget <= 0:
+            raise ValueError(f"budget must be > 0, got {budget}")
+        pm_intervals = self.on_pms.sum_last(window)
+        if pm_intervals <= 0:
+            return 0.0
+        if metric == "cvr":
+            consumed = self.violated.sum_last(window)
+        else:
+            consumed = self.migrations.sum_last(window)
+        return (consumed / pm_intervals) / budget
+
+    def cvr(self, window: int | None = None) -> float:
+        """Observed capacity-violation ratio over the (last ``window``)."""
+        window = self.window if window is None else window
+        pm_intervals = self.on_pms.sum_last(window)
+        if pm_intervals <= 0:
+            return 0.0
+        return self.violated.sum_last(window) / pm_intervals
+
+    def worst_pms(self, n: int = 5) -> list[PMState]:
+        """PMs ranked by recent violation rate, then by utilization."""
+        ranked = sorted(
+            self.pms.values(),
+            key=lambda s: (s.violation_rate, s.utilization),
+            reverse=True,
+        )
+        return ranked[:n]
+
+    def fleet_summary(self) -> dict[str, float]:
+        """Headline numbers for the dashboard's summary panel."""
+        return {
+            "ticks": float(self.ticks),
+            "time": float(self.last_time),
+            "pms_on": self.on_pms.last,
+            "utilization": self.charts["utilization"].last,
+            "on_fraction": self.charts["on_fraction"].last,
+            "on_fraction_expected": self.charts["on_fraction_expected"].last,
+            "cvr_window": self.cvr(),
+            "migrations_window": self.migrations.sum,
+            "violations_window": self.violated.sum,
+        }

@@ -88,10 +88,20 @@ class Datacenter:
         self._p_off = np.array([v.p_off for v in vms])
         self._r_base = np.array([v.r_base for v in vms])
         self._r_extra = np.array([v.r_extra for v in vms])
+        # The *assumed* law, frozen from the specs at construction: the
+        # stationary ON probability MapCal consolidated against, and the
+        # asymptotic per-interval variance rate of the ON-state occupation
+        # time including the Markov autocorrelation inflation
+        # (1 + r) / (1 - r), r = 1 - p_on - p_off.  These stay fixed even
+        # when set_switch_probabilities() drifts the actual dynamics —
+        # that gap is exactly what the drift detector measures.
+        q = self._p_on / (self._p_on + self._p_off)
+        r = np.clip(1.0 - self._p_on - self._p_off, 0.0, 1.0 - 1e-12)
+        self._q_assumed = q
+        self._var_rate_assumed = q * (1.0 - q) * (1.0 + r) / (1.0 - r)
         self._on = np.zeros(len(vms), dtype=bool)
         self._throttled = np.zeros(len(vms), dtype=bool)
         if start_stationary and len(vms):
-            q = self._p_on / (self._p_on + self._p_off)
             self._on = self._rng.random(len(vms)) < q
             for i, runtime in enumerate(self.vms):
                 runtime.on = bool(self._on[i])
@@ -164,9 +174,59 @@ class Datacenter:
         """Copy of the per-VM degradation mask."""
         return self._throttled.copy()
 
+    def on_states(self) -> np.ndarray:
+        """Copy of the per-VM ON mask (raw burst state, throttling ignored)."""
+        return self._on.copy()
+
+    def assumed_on_probability(self) -> np.ndarray:
+        """Per-VM stationary ON probability of the *spec-time* model.
+
+        Frozen at construction: :meth:`set_switch_probabilities` shifts the
+        simulated dynamics but never this array, so observers comparing
+        observed ON-fractions against it see exactly the model mismatch.
+        """
+        return self._q_assumed.copy()
+
+    def assumed_on_variance_rate(self) -> np.ndarray:
+        """Per-VM, per-interval variance rate of the assumed ON occupation.
+
+        ``q (1 - q) (1 + r) / (1 - r)`` with ``r = 1 - p_on - p_off`` — the
+        asymptotic variance of the two-state chain's occupation time, i.e.
+        the binomial variance inflated for serial correlation.  Summing it
+        over a window yields the null variance a chi-square drift statistic
+        must normalize by.
+        """
+        return self._var_rate_assumed.copy()
+
     # ------------------------------------------------------------------ #
     # mutation (used by the scheduler)
     # ------------------------------------------------------------------ #
+    def set_switch_probabilities(self, vm_ids: Sequence[int], *,
+                                 p_on: float | None = None,
+                                 p_off: float | None = None) -> None:
+        """Shift the *actual* ON-OFF dynamics of some VMs mid-run.
+
+        Models workload drift: the VMs keep the specs their placement was
+        computed from (so reservations, expected demands, and the assumed
+        law reported by :meth:`assumed_on_probability` are unchanged) but
+        their simulated chains switch with the new probabilities from the
+        next :meth:`step` on.  This is the injection knob the drift
+        detector is validated against.
+        """
+        for vm_id in vm_ids:
+            if not 0 <= vm_id < self.n_vms:
+                raise ValueError(
+                    f"vm_id must be in [0, {self.n_vms}), got {vm_id}")
+        ids = np.asarray(list(vm_ids), dtype=np.int64)
+        if p_on is not None:
+            if not 0.0 < p_on <= 1.0:
+                raise ValueError(f"p_on must be in (0, 1], got {p_on}")
+            self._p_on[ids] = p_on
+        if p_off is not None:
+            if not 0.0 < p_off <= 1.0:
+                raise ValueError(f"p_off must be in (0, 1], got {p_off}")
+            self._p_off[ids] = p_off
+
     def set_throttle(self, vm_id: int, throttled: bool) -> None:
         """Mark VM ``vm_id`` as degraded (served at ``R_b``) or restored."""
         if not 0 <= vm_id < self.n_vms:

@@ -36,6 +36,7 @@ from repro.simulation.datacenter import Datacenter
 from repro.simulation.topology import Topology
 from repro.telemetry import (
     DegradationApplied,
+    LogRateLimiter,
     PMCrashed,
     PMRepaired,
     ServiceRestored,
@@ -120,6 +121,15 @@ class FailureInjector:
                  telemetry: Telemetry | None = None):
         self.dc = dc
         self.telemetry = resolve(telemetry)
+        # One WARN per (source, kind) per window of intervals: a long
+        # degraded run repeats the same stranding/degradation story every
+        # interval and must not flood stderr with it.
+        self._log_limit = LogRateLimiter(
+            window=50,
+            counter=(self.telemetry.metrics.counter(
+                "log_suppressed_total", "rate-limited WARN lines dropped")
+                if self.telemetry is not None else None),
+        )
         if self.telemetry is not None:
             m = self.telemetry.metrics
             self._m_crashes = m.counter("pm_crashes_total", "PM failures")
@@ -198,7 +208,8 @@ class FailureInjector:
         if vm_id in self._stranded:
             return
         self._stranded.add(vm_id)
-        logger.warning(
+        self._log_limit.warning(
+            logger, "failures", "vm_stranded", time,
             "VM %d stranded on failed PM %d at interval %d "
             "(no healthy host fits it, even degraded)", vm_id, pm_id, time,
         )
@@ -222,7 +233,8 @@ class FailureInjector:
                     self.dc.set_throttle(vm_id, True)
                     self._degraded.add(vm_id)
                     self.record.degraded_evacuations += 1
-                    logger.warning(
+                    self._log_limit.warning(
+                        logger, "failures", "vm_degraded", time,
                         "VM %d degraded to base demand to fit on PM %d "
                         "at interval %d", vm_id, cand, time,
                     )
@@ -365,7 +377,9 @@ class FailureInjector:
                 dom = int(dom)
                 self.domain_failed[dom] = True
                 self.record.domain_failures += 1
-                logger.warning("fault domain %d failed at interval %d", dom, time)
+                self._log_limit.warning(
+                    logger, "failures", "domain_outage", time,
+                    "fault domain %d failed at interval %d", dom, time)
                 if tel is not None:
                     self._m_domain.inc()
                 members = self.topology.pms_in(dom)

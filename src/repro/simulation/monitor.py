@@ -10,13 +10,22 @@ metrics:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.migration import MigrationEvent
-from repro.telemetry import CapacityViolation, Telemetry, resolve
+from repro.telemetry import (
+    CapacityViolation,
+    IntervalSnapshot,
+    LogRateLimiter,
+    Telemetry,
+    resolve,
+)
+
+logger = logging.getLogger(__name__)
 
 _EPS = 1e-9
 
@@ -124,14 +133,36 @@ class Monitor:
         an ambient default is installed), each violated PM-interval is
         emitted as a :class:`~repro.telemetry.CapacityViolation` event and
         fleet gauges are published.
+    snapshot_every:
+        When set (and an event sink is attached), emit one
+        :class:`~repro.telemetry.IntervalSnapshot` every that many recorded
+        intervals — the feed the run observatory's recorder, SLO engine
+        and drift detector consume.  ``None`` (default) emits none, keeping
+        pre-existing event streams byte-identical.
+    log_window:
+        Rate limit for the monitor's WARN lines: at most one per warning
+        kind per this many intervals (suppressed lines are counted in the
+        ``log_suppressed_total`` metric when telemetry is on).
     """
 
     def __init__(self, n_pms: int, *, n_vms: int | None = None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 snapshot_every: int | None = None,
+                 log_window: int = 50):
         if n_pms <= 0:
             raise ValueError(f"n_pms must be >= 1, got {n_pms}")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1 or None, got {snapshot_every}")
         self._n_pms = n_pms
+        self._snapshot_every = snapshot_every
         self.telemetry = resolve(telemetry)
+        self._log_limit = LogRateLimiter(
+            window=log_window,
+            counter=(self.telemetry.metrics.counter(
+                "log_suppressed_total", "rate-limited WARN lines dropped")
+                if self.telemetry is not None else None),
+        )
         if self.telemetry is not None:
             m = self.telemetry.metrics
             self._m_violations = m.counter(
@@ -176,15 +207,24 @@ class Monitor:
         caps = np.array([p.spec.capacity for p in dc.pms])
         used = np.array([p.is_used for p in dc.pms])
         violated = loads > caps + _EPS
+        # the interval index is how many intervals we recorded so far
+        t = len(self._pms_used)
+        n_violated = int(violated.sum())
+        if n_violated:
+            self._log_limit.warning(
+                logger, "monitor", "capacity_violation", t,
+                "%d PM(s) over capacity at interval %d (worst: PM %d at "
+                "%.1f/%.1f)", n_violated, t,
+                int(np.argmax(loads - caps)),
+                float(loads[int(np.argmax(loads - caps))]),
+                float(caps[int(np.argmax(loads - caps))]),
+            )
         tel = self.telemetry
         if tel is not None:
-            n_violated = int(violated.sum())
             self._m_violations.inc(n_violated)
             self._g_pms_used.set(int(used.sum()))
             self._g_overloaded.set(n_violated)
             if tel.events.enabled and n_violated:
-                # the interval index is how many intervals we recorded so far
-                t = len(self._pms_used)
                 for pm_id in np.flatnonzero(violated):
                     pm_id = int(pm_id)
                     tel.emit(CapacityViolation(
@@ -192,6 +232,10 @@ class Monitor:
                         load=float(loads[pm_id]),
                         capacity=float(caps[pm_id]),
                     ))
+            if (self._snapshot_every is not None and tel.events.enabled
+                    and t % self._snapshot_every == 0):
+                tel.emit(self._snapshot(dc, t, loads, caps, used,
+                                        n_violated, len(migrations)))
         self._violations += violated.astype(np.int64)
         self._presence += used.astype(np.int64)
         self._pms_used.append(int(used.sum()))
@@ -209,6 +253,40 @@ class Monitor:
             self._vm_down[sorted(down_vms)] += 1
         if self._vm_degraded is not None and degraded_vms:
             self._vm_degraded[sorted(degraded_vms)] += 1
+
+    def _snapshot(self, dc: Datacenter, t: int, loads: np.ndarray,
+                  caps: np.ndarray, used: np.ndarray, n_violated: int,
+                  n_migrations: int) -> IntervalSnapshot:
+        """Build the per-interval fleet sample the observatory consumes.
+
+        Per powered-on PM: load, capacity, hosted/ON VM counts, and the
+        assumed-model expectation and variance rate of the ON count (frozen
+        spec-time values — see
+        :meth:`~repro.simulation.datacenter.Datacenter.assumed_on_probability`).
+        """
+        assignment = dc.placement.assignment
+        on = dc.on_states().astype(float)
+        hosted = np.bincount(assignment, minlength=dc.n_pms)
+        on_counts = np.bincount(assignment, weights=on, minlength=dc.n_pms)
+        expected = np.bincount(assignment,
+                               weights=dc.assumed_on_probability(),
+                               minlength=dc.n_pms)
+        exp_var = np.bincount(assignment,
+                              weights=dc.assumed_on_variance_rate(),
+                              minlength=dc.n_pms)
+        pm_ids = np.flatnonzero(used)
+        return IntervalSnapshot(
+            time=t,
+            pm_ids=tuple(int(p) for p in pm_ids),
+            loads=tuple(float(loads[p]) for p in pm_ids),
+            capacities=tuple(float(caps[p]) for p in pm_ids),
+            hosted=tuple(int(hosted[p]) for p in pm_ids),
+            on_vms=tuple(int(on_counts[p]) for p in pm_ids),
+            expected_on=tuple(float(expected[p]) for p in pm_ids),
+            expected_var=tuple(float(exp_var[p]) for p in pm_ids),
+            migrations=n_migrations,
+            overloaded=n_violated,
+        )
 
     def finalize(self) -> RunRecord:
         """Produce the run summary."""

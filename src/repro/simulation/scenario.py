@@ -135,6 +135,17 @@ class Scenario:
         component of the run publishes events/metrics into it and the
         whole run executes under its profiler.  Falls back to the ambient
         default installed by :func:`repro.telemetry.tracing` (None = off).
+    snapshot_every:
+        Emit an :class:`~repro.telemetry.IntervalSnapshot` every that many
+        intervals (requires an event sink).  ``None`` keeps event streams
+        byte-identical to previous releases — unless an ``observatory`` is
+        attached, which defaults this to 1.
+    observatory:
+        Optional live observer (anything with an ``observe(event)``
+        method, typically :class:`repro.observability.Observatory`).  It
+        is subscribed to the event bus for the duration of the run, so its
+        recorder/SLO/drift state is maintained *during* execution and its
+        alerts are emitted into the same stream the run records.
     """
 
     def __init__(
@@ -154,6 +165,8 @@ class Scenario:
         interval_seconds: float = 30.0,
         start_stationary: bool = False,
         telemetry: Telemetry | None = None,
+        snapshot_every: int | None = None,
+        observatory: Any | None = None,
     ):
         if not vms or not pms:
             raise ValueError("need at least one VM and one PM")
@@ -186,16 +199,37 @@ class Scenario:
         self.interval_seconds = interval_seconds
         self.start_stationary = start_stationary
         self.telemetry = telemetry
+        if snapshot_every is not None:
+            snapshot_every = check_integer(snapshot_every, "snapshot_every",
+                                           minimum=1)
+        elif observatory is not None:
+            snapshot_every = 1  # an observatory without snapshots is blind
+        self.snapshot_every = snapshot_every
+        self.observatory = observatory
 
-    def run(self, n_intervals: int = 100, *, seed: SeedLike = None) -> ScenarioReport:
-        """Place the fleet and simulate ``n_intervals``."""
+    def run(self, n_intervals: int = 100, *, seed: SeedLike = None,
+            on_tick: Any | None = None) -> ScenarioReport:
+        """Place the fleet and simulate ``n_intervals``.
+
+        ``on_tick`` (a callable taking the interval index) runs after each
+        interval is fully recorded — the hook live dashboards refresh from.
+        """
         n_intervals = check_integer(n_intervals, "n_intervals", minimum=1)
         tel = resolve(self.telemetry)
+        unsubscribe = None
+        if self.observatory is not None and tel is not None:
+            if hasattr(self.observatory, "attach"):
+                unsubscribe = self.observatory.attach(tel)
+            else:
+                unsubscribe = tel.events.subscribe(self.observatory.observe)
         rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
         placement = self.placer.place_and_report(self.vms, self.pms,
                                                  telemetry=tel)
         dc = Datacenter(self.vms, self.pms, placement, seed=rng_dc,
                         start_stationary=self.start_stationary)
+        #: the live datacenter of the current run — exposed so on_tick
+        #: observers can inspect or perturb it (e.g. drift injection)
+        self.datacenter = dc
         injector = (
             FailureInjector(dc, seed=rng_fail, topology=self.topology,
                             telemetry=tel, **self.failure_kwargs)
@@ -218,7 +252,8 @@ class Scenario:
         else:
             scheduler = DynamicScheduler(dc, self.policy, trigger=self.trigger,
                                          **scheduler_kwargs)
-        monitor = Monitor(dc.n_pms, n_vms=dc.n_vms, telemetry=tel)
+        monitor = Monitor(dc.n_pms, n_vms=dc.n_vms, telemetry=tel,
+                          snapshot_every=self.snapshot_every)
         engine = SimulationEngine()
         energy_total = 0.0
 
@@ -244,12 +279,18 @@ class Scenario:
                     ) * self.interval_seconds
 
         engine.add_hook("tick", tick)
+        if on_tick is not None:
+            engine.add_hook("observer", on_tick)
         initial_used = dc.used_pm_count()
-        if tel is not None:
-            with tel.profiler:
+        try:
+            if tel is not None:
+                with tel.profiler:
+                    engine.run(n_intervals)
+            else:
                 engine.run(n_intervals)
-        else:
-            engine.run(n_intervals)
+        finally:
+            if unsubscribe is not None:
+                unsubscribe()
         record = monitor.finalize()
 
         cvr = record.cvr_per_pm()

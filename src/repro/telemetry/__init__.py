@@ -32,8 +32,12 @@ from repro.telemetry.context import (
 from repro.telemetry.events import (
     EVENT_TYPES,
     PRE_RUN,
+    AlertFired,
+    AlertResolved,
     CapacityViolation,
     DegradationApplied,
+    DriftDetected,
+    IntervalSnapshot,
     MigrationCompleted,
     MigrationFailed,
     MigrationStarted,
@@ -47,12 +51,15 @@ from repro.telemetry.events import (
     VMStranded,
     event_from_dict,
 )
+from repro.telemetry.logfilter import LogRateLimiter
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
+    series_key,
 )
 from repro.telemetry.profiling import Profiler, Span, active_profiler, timed
 from repro.telemetry.replay import count_by_kind, replay_summary
@@ -63,6 +70,7 @@ from repro.telemetry.sinks import (
     Sink,
     iter_events,
     read_events,
+    read_events_tolerant,
 )
 
 __all__ = [
@@ -74,8 +82,12 @@ __all__ = [
     "tracing",
     "EVENT_TYPES",
     "PRE_RUN",
+    "AlertFired",
+    "AlertResolved",
     "CapacityViolation",
     "DegradationApplied",
+    "DriftDetected",
+    "IntervalSnapshot",
     "MigrationCompleted",
     "MigrationFailed",
     "MigrationStarted",
@@ -88,11 +100,14 @@ __all__ = [
     "VMPlaced",
     "VMStranded",
     "event_from_dict",
+    "LogRateLimiter",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_label_value",
+    "series_key",
     "Profiler",
     "Span",
     "active_profiler",
@@ -105,4 +120,5 @@ __all__ = [
     "Sink",
     "iter_events",
     "read_events",
+    "read_events_tolerant",
 ]

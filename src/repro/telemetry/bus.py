@@ -9,10 +9,25 @@ read and the event is never built, which is what keeps untraced runs at
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.telemetry.events import TelemetryEvent
 from repro.telemetry.sinks import NullSink, Sink
+
+
+class _CallbackSink:
+    """Adapts a plain callable to the :class:`Sink` protocol."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[TelemetryEvent], None]):
+        self._fn = fn
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self._fn(event)
+
+    def close(self) -> None:
+        pass
 
 
 class EventBus:
@@ -43,6 +58,27 @@ class EventBus:
             return
         self._sinks.append(sink)
         self.enabled = True
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]
+                  ) -> Callable[[], None]:
+        """Attach a live observer callback; returns its unsubscribe function.
+
+        The callback is invoked for every event, after previously attached
+        sinks.  A subscriber may itself :meth:`emit` (e.g. an SLO engine
+        reacting to a snapshot with an alert); the nested event is delivered
+        to every sink — including file sinks attached *before* the
+        subscriber, which therefore log it right after its cause.
+        """
+        sink = _CallbackSink(callback)
+        self._sinks.append(sink)
+        self.enabled = True
+
+        def unsubscribe() -> None:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            self.enabled = bool(self._sinks)
+
+        return unsubscribe
 
     @property
     def sinks(self) -> tuple[Sink, ...]:

@@ -224,3 +224,91 @@ class ReconsolidationTriggered(TelemetryEvent):
 
     planned_moves: int
     executed_moves: int
+
+
+# --------------------------------------------------------------------- #
+# observability plane (see :mod:`repro.observability`)
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class IntervalSnapshot(TelemetryEvent):
+    """Per-interval fleet state sample for the run observatory.
+
+    One snapshot per recorded interval (opt-in via the monitor's
+    ``snapshot_every``), carrying parallel per-powered-on-PM tuples so the
+    time-series recorder, SLO engine and drift detector can be driven from
+    the event stream alone — a recorded JSONL trace replays into the exact
+    same observatory state with no simulator re-execution.
+
+    ``expected_on`` / ``expected_var`` are the *assumed* (spec-time)
+    stationary ON count and its per-interval variance rate per PM — the
+    Geom/Geom/K model MapCal sized reservations against — including the
+    Markov autocorrelation inflation ``(1 + r) / (1 - r)`` with
+    ``r = 1 - p_on - p_off``, so drift tests compare the observed ON counts
+    against a correctly-scaled null.
+    """
+
+    kind: ClassVar[str] = "interval_snapshot"
+
+    pm_ids: tuple[int, ...] = ()
+    loads: tuple[float, ...] = ()
+    capacities: tuple[float, ...] = ()
+    hosted: tuple[int, ...] = ()
+    on_vms: tuple[int, ...] = ()
+    expected_on: tuple[float, ...] = ()
+    expected_var: tuple[float, ...] = ()
+    migrations: int = 0
+    overloaded: int = 0
+
+    def __post_init__(self) -> None:
+        # JSONL round-trips deliver lists; normalize so replayed events
+        # compare equal to (and hash like) the originals.
+        for name in ("pm_ids", "loads", "capacities", "hosted", "on_vms",
+                     "expected_on", "expected_var"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+
+@register
+@dataclass(frozen=True)
+class AlertFired(TelemetryEvent):
+    """An SLO rule's multi-window burn rate crossed its thresholds."""
+
+    kind: ClassVar[str] = "alert_fired"
+
+    rule: str
+    metric: str = ""
+    severity: str = "page"
+    burn_fast: float = 0.0
+    burn_slow: float = 0.0
+    budget: float = 0.0
+
+
+@register
+@dataclass(frozen=True)
+class AlertResolved(TelemetryEvent):
+    """A previously firing SLO alert dropped back below threshold."""
+
+    kind: ClassVar[str] = "alert_resolved"
+
+    rule: str
+    active_intervals: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class DriftDetected(TelemetryEvent):
+    """A PM's observed ON-fraction departed from the assumed Geom/Geom/K law.
+
+    Fired by the sequential chi-square drift detector when the (p_on, p_off)
+    model MapCal consolidated against no longer matches runtime behaviour —
+    the early warning that the CVR bound's premises are eroding.
+    """
+
+    kind: ClassVar[str] = "drift_detected"
+
+    pm_id: int
+    statistic: float = 0.0
+    threshold: float = 0.0
+    observed_on_fraction: float = 0.0
+    expected_on_fraction: float = 0.0
+    windows: int = 1

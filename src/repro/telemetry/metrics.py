@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import re
 from bisect import bisect_left
-from typing import Sequence
+from typing import Mapping, Sequence
 
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
@@ -36,14 +36,52 @@ def _check_name(name: str) -> str:
     return name
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline must be escaped inside the quoted
+    label value (in that order, so the escapes themselves survive).
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _check_labels(labels: Mapping[str, str] | None) -> dict[str, str]:
+    if not labels:
+        return {}
+    return {_check_name(k): str(v) for k, v in labels.items()}
+
+
+def _label_str(labels: Mapping[str, str],
+               extra: Mapping[str, str] | None = None) -> str:
+    """Render ``{k="v",...}`` with escaped values ('' when empty)."""
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{escape_label_value(v)}"'
+                     for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def series_key(name: str, labels: Mapping[str, str] | None = None) -> str:
+    """Canonical identity of a metric series: name plus sorted labels."""
+    if not labels:
+        return name
+    return name + _label_str(dict(sorted(labels.items())))
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None):
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -56,11 +94,13 @@ class Counter:
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None):
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -84,13 +124,15 @@ class Histogram:
         last bound land in an implicit ``+Inf`` overflow bucket.
     """
 
-    __slots__ = ("name", "help", "bounds", "counts", "count", "sum",
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "count", "sum",
                  "_min", "_max")
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 labels: Mapping[str, str] | None = None):
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("need at least one bucket bound")
@@ -169,36 +211,49 @@ Metric = Counter | Gauge | Histogram
 
 
 class MetricsRegistry:
-    """Named metrics, get-or-create, with Prometheus and JSON exporters."""
+    """Named metric series, get-or-create, with Prometheus/JSON exporters.
+
+    A series is identified by its name plus its (sorted) label set, so
+    ``counter("slo_alerts_total", labels={"rule": "cvr_burn"})`` and the
+    same name with another rule are independent series sharing one
+    HELP/TYPE block in the exposition output.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
 
-    def _get_or_create(self, name: str, cls: type, **kwargs) -> Metric:
-        existing = self._metrics.get(name)
+    def _get_or_create(self, name: str, cls: type,
+                       labels: Mapping[str, str] | None = None,
+                       **kwargs) -> Metric:
+        key = series_key(name, labels)
+        existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, cls):
                 raise ValueError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(existing).__name__}, not {cls.__name__}"
                 )
             return existing
-        metric = cls(name, **kwargs)
-        self._metrics[name] = metric
+        metric = cls(name, labels=labels, **kwargs)
+        self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        """Get or create the counter ``name``."""
-        return self._get_or_create(name, Counter, help=help)
+    def counter(self, name: str, help: str = "",
+                labels: Mapping[str, str] | None = None) -> Counter:
+        """Get or create the counter series ``name``/``labels``."""
+        return self._get_or_create(name, Counter, labels, help=help)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        """Get or create the gauge ``name``."""
-        return self._get_or_create(name, Gauge, help=help)
+    def gauge(self, name: str, help: str = "",
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        """Get or create the gauge series ``name``/``labels``."""
+        return self._get_or_create(name, Gauge, labels, help=help)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        """Get or create the histogram ``name``."""
-        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  labels: Mapping[str, str] | None = None) -> Histogram:
+        """Get or create the histogram series ``name``/``labels``."""
+        return self._get_or_create(name, Histogram, labels, help=help,
+                                   buckets=buckets)
 
     def __iter__(self):
         return iter(self._metrics.values())
@@ -206,23 +261,24 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def get(self, name: str) -> Metric | None:
-        """Look up a metric without creating it."""
-        return self._metrics.get(name)
+    def get(self, name: str,
+            labels: Mapping[str, str] | None = None) -> Metric | None:
+        """Look up a metric series without creating it."""
+        return self._metrics.get(series_key(name, labels))
 
     # ------------------------------------------------------------------ #
     # exporters
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """JSON-serializable snapshot of every metric."""
+        """JSON-serializable snapshot of every metric series."""
         out: dict[str, dict] = {}
-        for metric in self._metrics.values():
+        for key, metric in self._metrics.items():
             if isinstance(metric, Counter):
-                out[metric.name] = {"type": "counter", "value": metric.value}
+                out[key] = {"type": "counter", "value": metric.value}
             elif isinstance(metric, Gauge):
-                out[metric.name] = {"type": "gauge", "value": metric.value}
+                out[key] = {"type": "gauge", "value": metric.value}
             else:
-                out[metric.name] = {"type": "histogram", **metric.to_dict()}
+                out[key] = {"type": "histogram", **metric.to_dict()}
         return out
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -230,29 +286,38 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (one block per metric)."""
+        """Prometheus text exposition format.
+
+        Label values are escaped per the format (backslash, quote, newline);
+        HELP/TYPE headers are emitted once per metric *name* even when
+        several labelled series share it; every histogram ends with the
+        cumulative ``+Inf`` bucket.
+        """
         lines: list[str] = []
+        described: set[str] = set()
         for metric in self._metrics.values():
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            if isinstance(metric, Counter):
-                lines.append(f"# TYPE {metric.name} counter")
-                lines.append(f"{metric.name} {_fmt(metric.value)}")
-            elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {metric.name} gauge")
-                lines.append(f"{metric.name} {_fmt(metric.value)}")
+            if metric.name not in described:
+                described.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                kind = ("counter" if isinstance(metric, Counter)
+                        else "gauge" if isinstance(metric, Gauge)
+                        else "histogram")
+                lines.append(f"# TYPE {metric.name} {kind}")
+            label_s = _label_str(metric.labels)
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{metric.name}{label_s} {_fmt(metric.value)}")
             else:
-                lines.append(f"# TYPE {metric.name} histogram")
                 cumulative = 0
                 for bound, count in zip(metric.bounds, metric.counts):
                     cumulative += count
-                    lines.append(
-                        f'{metric.name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
-                    )
+                    bucket = _label_str(metric.labels, {"le": _fmt(bound)})
+                    lines.append(f"{metric.name}_bucket{bucket} {cumulative}")
                 cumulative += metric.counts[-1]
-                lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
-                lines.append(f"{metric.name}_sum {_fmt(metric.sum)}")
-                lines.append(f"{metric.name}_count {metric.count}")
+                bucket = _label_str(metric.labels, {"le": "+Inf"})
+                lines.append(f"{metric.name}_bucket{bucket} {cumulative}")
+                lines.append(f"{metric.name}_sum{label_s} {_fmt(metric.sum)}")
+                lines.append(f"{metric.name}_count{label_s} {metric.count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

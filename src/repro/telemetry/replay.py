@@ -10,9 +10,11 @@ recomputation; the test suite asserts the two bookkeeping paths agree.
 from __future__ import annotations
 
 from collections import Counter as TallyCounter
+from pathlib import Path
 from typing import Iterable
 
 from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.sinks import read_events_tolerant
 
 
 def count_by_kind(events: Iterable[TelemetryEvent]) -> dict[str, int]:
@@ -20,17 +22,37 @@ def count_by_kind(events: Iterable[TelemetryEvent]) -> dict[str, int]:
     return dict(TallyCounter(e.kind for e in events))
 
 
-def replay_summary(events: Iterable[TelemetryEvent]) -> dict[str, int]:
+def replay_summary(
+    events: Iterable[TelemetryEvent] | str | Path,
+) -> dict[str, int]:
     """Recompute the run's headline counters from its event stream.
+
+    ``events`` is either an iterable of typed events or a path to a JSONL
+    event log.  Paths are parsed tolerantly: truncated or corrupt lines are
+    skipped with a counted warning (see
+    :func:`~repro.telemetry.sinks.read_events_tolerant`) rather than
+    aborting the whole replay — a crashed writer must not take its
+    post-mortem down with it.
 
     Returns a dict with the counters a scenario report also tracks:
     ``migrations`` (completed), ``failed_migrations``, ``crashes``,
     ``repairs``, ``capacity_violations``, ``degradations``,
     ``strandings``, ``restorations``, ``blacklistings``,
-    ``reconsolidations`` and ``vms_placed``.
+    ``reconsolidations``, ``vms_placed``, the observability-plane counts
+    (``snapshots``, ``alerts_fired``, ``alerts_resolved``,
+    ``drift_detections``) and ``skipped_lines`` (0 when typed events were
+    passed directly).
     """
+    skipped = 0
+    if isinstance(events, (str, Path)):
+        events, skipped = read_events_tolerant(events)
     kinds = count_by_kind(events)
     return {
+        "skipped_lines": skipped,
+        "snapshots": kinds.get("interval_snapshot", 0),
+        "alerts_fired": kinds.get("alert_fired", 0),
+        "alerts_resolved": kinds.get("alert_resolved", 0),
+        "drift_detections": kinds.get("drift_detected", 0),
         "vms_placed": kinds.get("vm_placed", 0),
         "migrations": kinds.get("migration_completed", 0),
         "failed_migrations": kinds.get("migration_failed", 0),

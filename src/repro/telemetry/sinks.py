@@ -17,11 +17,17 @@ Sinks are intentionally dumb: ordering, filtering and fan-out live in
 from __future__ import annotations
 
 import json
+import logging
 from collections import deque
 from pathlib import Path
 from typing import IO, Iterable, Protocol, runtime_checkable
 
 from repro.telemetry.events import TelemetryEvent, event_from_dict
+
+logger = logging.getLogger(__name__)
+
+#: corrupt-line warnings printed per file before going quiet
+_MAX_SKIP_WARNINGS = 3
 
 
 @runtime_checkable
@@ -114,3 +120,36 @@ def iter_events(lines: Iterable[str]) -> Iterable[TelemetryEvent]:
         line = line.strip()
         if line:
             yield event_from_dict(json.loads(line))
+
+
+def read_events_tolerant(path: str | Path) -> tuple[list[TelemetryEvent], int]:
+    """Replay a JSONL event log, skipping truncated or corrupt lines.
+
+    A crashed writer leaves a half-written last line; a concatenated or
+    hand-edited log may hold unknown kinds or garbage.  Each bad line is
+    skipped with a (capped) warning instead of aborting the replay; the
+    second return value is the number of lines dropped.
+    """
+    events: list[TelemetryEvent] = []
+    skipped = 0
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except (ValueError, TypeError) as exc:
+                # json.JSONDecodeError is a ValueError; unknown kinds raise
+                # ValueError; wrong/missing fields raise TypeError.
+                skipped += 1
+                if skipped <= _MAX_SKIP_WARNINGS:
+                    logger.warning("%s:%d: skipping corrupt event line (%s)",
+                                   path, lineno, exc)
+                elif skipped == _MAX_SKIP_WARNINGS + 1:
+                    logger.warning("%s: further corrupt lines suppressed",
+                                   path)
+    if skipped:
+        logger.warning("%s: %d corrupt line(s) skipped during replay",
+                       path, skipped)
+    return events, skipped

@@ -26,6 +26,18 @@ def _as_finite_1d(values: Sequence[float], name: str) -> np.ndarray:
     return v
 
 
+def sanitize_series(values: Sequence[float]) -> list[float]:
+    """Drop non-finite entries from a series (dashboard-side tolerance).
+
+    The chart functions deliberately reject NaN/inf — silently bending a
+    figure's axes around bad data would hide bugs.  Live dashboards have
+    the opposite need: a feed with a hole in it should still render.  This
+    is the explicit bridge: filter first, then chart.
+    """
+    v = np.asarray(list(values), dtype=float)
+    return [float(x) for x in v[np.isfinite(v)]]
+
+
 def sparkline(values: Sequence[float]) -> str:
     """One-line sparkline of a series using block characters.
 

@@ -1,0 +1,129 @@
+"""Time-series recorder: event stream -> rolling aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.recorder import TimeSeriesRecorder
+from repro.telemetry.events import (
+    CapacityViolation,
+    IntervalSnapshot,
+    MigrationCompleted,
+    PMCrashed,
+    PMRepaired,
+)
+
+
+def snap(t: int, *, pm_ids=(0, 1), loads=(50.0, 60.0), caps=(100.0, 100.0),
+         hosted=(4, 4), on_vms=(1, 2), expected_on=(0.4, 0.4),
+         expected_var=(0.6, 0.6), migrations=0, overloaded=0):
+    return IntervalSnapshot(
+        time=t, pm_ids=pm_ids, loads=loads, capacities=caps, hosted=hosted,
+        on_vms=on_vms, expected_on=expected_on, expected_var=expected_var,
+        migrations=migrations, overloaded=overloaded)
+
+
+class TestTickFinalization:
+    def test_violations_fold_into_their_interval(self):
+        rec = TimeSeriesRecorder(window=10)
+        rec.on_event(CapacityViolation(time=3, pm_id=1, load=110, capacity=100))
+        rec.on_event(snap(3))
+        assert rec.ticks == 1
+        assert rec.violated.last == 1.0
+        assert rec.pms[1].violations.last == 1.0
+        assert rec.pms[0].violations.last == 0.0
+
+    def test_duplicate_violations_same_pm_count_once(self):
+        rec = TimeSeriesRecorder(window=10)
+        rec.on_event(CapacityViolation(time=0, pm_id=0, load=1, capacity=0))
+        rec.on_event(CapacityViolation(time=0, pm_id=0, load=2, capacity=0))
+        rec.on_event(snap(0))
+        assert rec.violated.last == 1.0
+
+    def test_migrations_counted_per_interval(self):
+        rec = TimeSeriesRecorder(window=10)
+        rec.on_event(MigrationCompleted(time=5, vm_id=1, source_pm=0,
+                                        target_pm=1))
+        rec.on_event(MigrationCompleted(time=5, vm_id=2, source_pm=0,
+                                        target_pm=1))
+        rec.on_event(snap(5))
+        assert rec.migrations.last == 2.0
+
+    def test_stale_buffers_dropped(self):
+        rec = TimeSeriesRecorder(window=10)
+        # violation in an interval that never gets a snapshot (cadence > 1)
+        rec.on_event(CapacityViolation(time=0, pm_id=0, load=1, capacity=0))
+        rec.on_event(snap(4))
+        assert not rec._pending_violations
+        assert rec.violated.last == 0.0
+
+    def test_pm_liveness_tracked(self):
+        rec = TimeSeriesRecorder(window=10)
+        rec.on_event(snap(0))
+        rec.on_event(PMCrashed(time=1, pm_id=0))
+        assert rec.pms[0].alive is False
+        rec.on_event(PMRepaired(time=4, pm_id=0))
+        assert rec.pms[0].alive is True
+
+    def test_charts_and_summary(self):
+        rec = TimeSeriesRecorder(window=10)
+        for t in range(5):
+            rec.on_event(snap(t))
+        s = rec.fleet_summary()
+        assert s["ticks"] == 5
+        assert s["utilization"] == pytest.approx(110.0 / 200.0)
+        assert s["on_fraction"] == pytest.approx(3 / 8)
+        times, values = rec.charts["utilization"].series()
+        assert times == list(range(5))
+
+
+class TestBurn:
+    def test_cvr_burn_rate(self):
+        rec = TimeSeriesRecorder(window=20)
+        # 2 PMs, one violating every interval: CVR = 0.5
+        for t in range(10):
+            rec.on_event(CapacityViolation(time=t, pm_id=0, load=1,
+                                           capacity=0))
+            rec.on_event(snap(t))
+        # budget 0.05 -> burn 10x
+        assert rec.burn("cvr", 10, 0.05) == pytest.approx(10.0)
+        assert rec.cvr(10) == pytest.approx(0.5)
+
+    def test_migration_churn_burn(self):
+        rec = TimeSeriesRecorder(window=20)
+        for t in range(4):
+            rec.on_event(MigrationCompleted(time=t, vm_id=0, source_pm=0,
+                                            target_pm=1))
+            rec.on_event(snap(t))
+        # 1 migration / 2 PM-intervals = 0.5 rate; budget 0.1 -> 5x
+        assert rec.burn("migration_churn", 4, 0.1) == pytest.approx(5.0)
+
+    def test_empty_recorder_burns_zero(self):
+        rec = TimeSeriesRecorder(window=10)
+        assert rec.burn("cvr", 5, 0.01) == 0.0
+
+    def test_unknown_metric_rejected(self):
+        rec = TimeSeriesRecorder(window=10)
+        with pytest.raises(ValueError, match="unknown burn metric"):
+            rec.burn("latency", 5, 0.01)
+        with pytest.raises(ValueError, match="budget"):
+            rec.burn("cvr", 5, 0.0)
+
+
+class TestWorstPMs:
+    def test_ranked_by_violation_rate(self):
+        rec = TimeSeriesRecorder(window=10)
+        for t in range(4):
+            if t % 2 == 0:
+                rec.on_event(CapacityViolation(time=t, pm_id=1, load=1,
+                                               capacity=0))
+            rec.on_event(snap(t))
+        worst = rec.worst_pms(2)
+        assert worst[0].pm_id == 1
+        assert worst[0].violation_rate == pytest.approx(0.5)
+
+    def test_headroom(self):
+        rec = TimeSeriesRecorder(window=10)
+        rec.on_event(snap(0, loads=(90.0, 10.0)))
+        assert rec.pms[0].headroom == pytest.approx(10.0)
+        assert rec.pms[1].headroom == pytest.approx(90.0)

@@ -1,0 +1,172 @@
+"""SLO rules, multi-window burn-rate alerting, alert event round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.recorder import TimeSeriesRecorder
+from repro.observability.slo import (
+    BurnWindow,
+    SLOEngine,
+    SLORule,
+    default_rules,
+    load_rules,
+)
+from repro.telemetry import JSONLSink, Telemetry
+from repro.telemetry.events import AlertFired, AlertResolved, event_from_dict
+from tests.test_observability_recorder import snap
+
+
+def make_rule(**overrides) -> SLORule:
+    kwargs = dict(name="cvr_burn", metric="cvr", budget=0.05,
+                  fast=BurnWindow(3, 5.0), slow=BurnWindow(10, 2.0))
+    kwargs.update(overrides)
+    return SLORule(**kwargs)
+
+
+class TestRuleValidation:
+    def test_round_trips_through_dict(self):
+        rule = make_rule()
+        assert SLORule.from_dict(rule.to_dict()) == rule
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            make_rule(metric="latency")
+
+    def test_fast_window_must_not_exceed_slow(self):
+        with pytest.raises(ValueError, match="fast window"):
+            make_rule(fast=BurnWindow(20, 5.0), slow=BurnWindow(10, 2.0))
+
+    def test_burn_window_validated(self):
+        with pytest.raises(ValueError):
+            BurnWindow(0, 1.0)
+        with pytest.raises(ValueError):
+            BurnWindow(5, 0.0)
+
+    def test_default_rules_cover_cvr_and_churn(self):
+        rules = default_rules(rho=0.02)
+        by_name = {r.name: r for r in rules}
+        assert by_name["cvr_burn"].budget == 0.02
+        assert by_name["cvr_burn"].fast.factor == 14.0
+        assert "migration_storm" in by_name
+
+
+class TestLoadRules:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [make_rule().to_dict()]}))
+        rules = load_rules(path)
+        assert rules == [make_rule()]
+
+    def test_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "rules.yaml"
+        path.write_text(yaml.safe_dump({"rules": [make_rule().to_dict()]}))
+        assert load_rules(path) == [make_rule()]
+
+    def test_top_level_list(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps([make_rule().to_dict()]))
+        assert load_rules(path) == [make_rule()]
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("not json {{{")
+        with pytest.raises(ValueError, match="could not parse"):
+            load_rules(path)
+
+
+def drive(engine: SLOEngine, rec: TimeSeriesRecorder, n: int, *,
+          violate: bool, start: int = 0) -> list:
+    """Feed n intervals (2 PMs, optional persistent violation), evaluating."""
+    from repro.telemetry.events import CapacityViolation
+
+    out = []
+    for t in range(start, start + n):
+        if violate:
+            rec.on_event(CapacityViolation(time=t, pm_id=0, load=1,
+                                           capacity=0))
+        rec.on_event(snap(t))
+        out.extend(engine.evaluate(t))
+    return out
+
+
+class TestEngine:
+    def test_fires_when_both_windows_burn(self):
+        rec = TimeSeriesRecorder(window=30)
+        engine = SLOEngine(rec, [make_rule()], emit=False)
+        events = drive(engine, rec, 6, violate=True)
+        fired = [e for e in events if isinstance(e, AlertFired)]
+        assert len(fired) == 1
+        assert fired[0].rule == "cvr_burn"
+        # CVR 0.5 vs budget 0.05 -> 10x burn on both windows
+        assert fired[0].burn_fast == pytest.approx(10.0)
+        assert engine.has_active_alerts()
+
+    def test_no_verdict_before_fast_window_fills(self):
+        rec = TimeSeriesRecorder(window=30)
+        engine = SLOEngine(rec, [make_rule()], emit=False)
+        events = drive(engine, rec, 2, violate=True)
+        assert events == []
+
+    def test_resolves_when_fast_window_cools(self):
+        rec = TimeSeriesRecorder(window=30)
+        engine = SLOEngine(rec, [make_rule()], emit=False)
+        drive(engine, rec, 6, violate=True)
+        events = drive(engine, rec, 10, violate=False, start=6)
+        resolved = [e for e in events if isinstance(e, AlertResolved)]
+        assert len(resolved) == 1
+        assert not engine.has_active_alerts()
+        span = engine.timeline[0]
+        assert span.resolved_at is not None
+        assert span.peak_burn_fast >= 5.0
+
+    def test_single_blip_does_not_fire(self):
+        # slow window guards: one violated interval in an otherwise clean
+        # stream exceeds the fast factor but not the slow one
+        rec = TimeSeriesRecorder(window=30)
+        rule = make_rule(fast=BurnWindow(3, 5.0), slow=BurnWindow(20, 4.0))
+        engine = SLOEngine(rec, [rule], emit=False)
+        drive(engine, rec, 15, violate=False)
+        events = drive(engine, rec, 1, violate=True, start=15)
+        events += drive(engine, rec, 5, violate=False, start=16)
+        assert [e for e in events if isinstance(e, AlertFired)] == []
+
+    def test_slow_window_exceeding_recorder_rejected(self):
+        rec = TimeSeriesRecorder(window=5)
+        with pytest.raises(ValueError, match="recorder window"):
+            SLOEngine(rec, [make_rule()], emit=False)
+
+    def test_duplicate_rule_names_rejected(self):
+        rec = TimeSeriesRecorder(window=30)
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(rec, [make_rule(), make_rule()], emit=False)
+
+    def test_severity_filter(self):
+        rec = TimeSeriesRecorder(window=30)
+        engine = SLOEngine(rec, [make_rule(severity="ticket")], emit=False)
+        drive(engine, rec, 6, violate=True)
+        assert engine.has_active_alerts("ticket")
+        assert not engine.has_active_alerts("page")
+
+
+class TestAlertEventsRoundTrip:
+    def test_alert_events_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        rec = TimeSeriesRecorder(window=30)
+        tel = Telemetry(JSONLSink(path))
+        engine = SLOEngine(rec, [make_rule()], telemetry=tel)
+        drive(engine, rec, 6, violate=True)
+        drive(engine, rec, 10, violate=False, start=6)
+        tel.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [d["kind"] for d in lines]
+        assert "alert_fired" in kinds and "alert_resolved" in kinds
+        replayed = [event_from_dict(d) for d in lines]
+        fired = [e for e in replayed if isinstance(e, AlertFired)]
+        assert fired[0].rule == "cvr_burn"
+        assert fired[0].budget == pytest.approx(0.05)
+        # byte-identical re-serialization
+        assert [e.to_dict() for e in replayed] == lines

@@ -7,9 +7,13 @@ import pytest
 from repro.telemetry import (
     EVENT_TYPES,
     PRE_RUN,
+    AlertFired,
+    AlertResolved,
     CapacityViolation,
     DegradationApplied,
+    DriftDetected,
     EventBus,
+    IntervalSnapshot,
     MigrationCompleted,
     MigrationFailed,
     MigrationStarted,
@@ -40,6 +44,16 @@ SAMPLES = [
     ServiceRestored(time=8, vm_id=5, pm_id=1, reason="headroom"),
     CapacityViolation(time=4, pm_id=1, load=120.0, capacity=100.0),
     ReconsolidationTriggered(time=10, planned_moves=3, executed_moves=2),
+    IntervalSnapshot(time=5, pm_ids=(0, 1), loads=(50.0, 60.0),
+                     capacities=(100.0, 100.0), hosted=(4, 4),
+                     on_vms=(1, 2), expected_on=(0.4, 0.4),
+                     expected_var=(7.6, 7.6), migrations=1, overloaded=0),
+    AlertFired(time=6, rule="cvr_burn", metric="cvr", severity="page",
+               burn_fast=15.0, burn_slow=2.5, budget=0.01),
+    AlertResolved(time=12, rule="cvr_burn", active_intervals=6),
+    DriftDetected(time=30, pm_id=2, statistic=12.5, threshold=10.83,
+                  observed_on_fraction=0.2, expected_on_fraction=0.1,
+                  windows=2),
 ]
 
 

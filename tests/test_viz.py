@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.viz.ascii_charts import bar_chart, histogram, line_chart, sparkline
+from repro.viz.ascii_charts import (
+    bar_chart,
+    histogram,
+    line_chart,
+    sanitize_series,
+    sparkline,
+)
 
 
 class TestSparkline:
@@ -70,6 +76,56 @@ class TestLineChart:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             line_chart({})
+
+
+class TestEdgeCases:
+    """Degenerate inputs the dashboard feeds through sanitize_series."""
+
+    def test_empty_series_rejected_everywhere(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_single_point_sparkline(self):
+        assert sparkline([3.0]) == "▁"
+
+    def test_single_point_line_chart(self):
+        out = line_chart({"a": [5.0]}, height=3, width=5)
+        assert "a" in out.splitlines()[-1]
+
+    def test_constant_series_all_charts(self):
+        assert sparkline([2.0] * 4) == "▁▁▁▁"
+        assert "a" in line_chart({"a": [2.0] * 4}, height=2, width=4)
+        assert histogram([2.0, 2.0], n_bins=2)
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                sparkline([1.0, bad])
+            with pytest.raises(ValueError):
+                line_chart({"a": [1.0, bad]})
+
+    def test_width_one_renders(self):
+        out = bar_chart({"a": 3.0}, width=1)
+        assert "█" in out
+        out = histogram([1.0, 2.0], n_bins=1, width=1)
+        assert "█" in out
+        # line_chart needs at least 2 columns by contract
+        with pytest.raises(ValueError):
+            line_chart({"a": [1.0, 2.0]}, width=1)
+
+    def test_sanitize_series_drops_nonfinite(self):
+        clean = sanitize_series([1.0, float("nan"), 2.0, float("inf"), 3.0])
+        assert clean == [1.0, 2.0, 3.0]
+        assert sanitize_series([]) == []
+        assert sanitize_series([float("nan")]) == []
+
+    def test_sanitized_feed_renders(self):
+        values = [1.0, float("nan"), 5.0, 2.0]
+        assert len(sparkline(sanitize_series(values))) == 3
 
 
 class TestHistogram:
