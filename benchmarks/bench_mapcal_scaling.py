@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.mapcal import mapcal, mapcal_table
 from repro.markov.binomial import busy_block_kernel
+from repro.perf.cache import fresh_cache
 
 
 @pytest.mark.parametrize("k", [8, 16, 32, 64])
@@ -26,6 +27,32 @@ def test_mapping_table_cost(benchmark, d):
         lambda: mapcal_table(d, 0.01, 0.09, 0.01), rounds=3, iterations=1
     )
     assert mapping.d == d
+
+
+def test_mapping_table_is_one_pass_at_d200(benchmark):
+    """Regression guard for the table-construction hot loop.
+
+    Building a d=200 table must solve each ``k`` exactly once (validation
+    hoisted out of the loop, every solve routed through the cache), and a
+    second build must be pure cache hits.  Before the cache, the loop
+    re-validated and re-solved per ``k`` on every call.
+    """
+    with fresh_cache() as cache:
+        mapping = benchmark.pedantic(
+            lambda: mapcal_table(200, 0.01, 0.09, 0.01),
+            rounds=1, iterations=1,
+        )
+        assert mapping.d == 200
+        assert cache.misses == 200 and cache.hits == 0
+
+        rebuilt = mapcal_table(200, 0.01, 0.09, 0.01)
+        assert cache.misses == 200 and cache.hits == 200
+        assert (rebuilt.table == mapping.table).all()
+
+        t0 = time.perf_counter()
+        mapcal_table(200, 0.01, 0.09, 0.01)
+        warm = time.perf_counter() - t0
+    assert warm < 0.1, f"warm d=200 table took {warm * 1e3:.0f} ms"
 
 
 def test_kernel_growth_is_polynomial(benchmark):

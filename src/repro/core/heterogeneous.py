@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.cluster.binning import equal_width_bins
 from repro.core.types import Placement, PMSpec, VMSpec
+from repro.perf.cache import get_cache
 from repro.placement.base import InsufficientCapacityError, Placer
 from repro.utils.validation import check_integer, check_probability
 
@@ -70,14 +71,37 @@ def heterogeneous_blocks(vms: Sequence[VMSpec], rho: float) -> int:
 
     Exact (Poisson-binomial) generalization of MapCal's Eq. 15.  Returns a
     value in ``[0, len(vms)]``; an empty set needs 0 blocks.
+
+    A homogeneous fleet (every VM sharing one ``(p_on, p_off)``) is exactly
+    the paper's uniform case, so it is delegated to
+    :func:`repro.core.mapcal.mapcal` — the reduction property holds by
+    construction rather than by numerical coincidence (the convolution and
+    chain-solve routes can disagree by one block when ``1 - rho`` lands
+    inside their ~1e-16 error band), and the solve shares cache entries
+    with the MapCal tables.
+
+    Solves are memoized through :func:`repro.perf.cache.get_cache`,
+    content-addressed on the sorted ``q_i`` multiset and ``rho`` (block
+    count is permutation-invariant in the ``q_i``).
     """
     check_probability(rho, "rho")
     if not vms:
         return 0
-    pmf = poisson_binomial_pmf(stationary_on_probabilities(vms))
+    first = (vms[0].p_on, vms[0].p_off)
+    if all((vm.p_on, vm.p_off) == first for vm in vms):
+        from repro.core.mapcal import mapcal
+
+        return mapcal(len(vms), first[0], first[1], rho)
+    q = stationary_on_probabilities(vms)
+    key = ("het", tuple(sorted(float(qi) for qi in q)), float(rho))
+    return get_cache().get_or_compute(key, lambda: _solve_blocks(q, rho))
+
+
+def _solve_blocks(q: np.ndarray, rho: float) -> int:
+    pmf = poisson_binomial_pmf(q)
     cumulative = np.cumsum(pmf)
     meets = np.flatnonzero(cumulative >= 1.0 - rho - 1e-15)
-    return int(meets[0]) if meets.size else len(vms)
+    return int(meets[0]) if meets.size else q.size
 
 
 def heterogeneous_cvr(vms: Sequence[VMSpec], n_blocks: int) -> float:

@@ -76,24 +76,23 @@ class QueuingFFD(Placer):
         self.rounding_rule: RoundingRule = rounding_rule
         self.stationary_method: StationaryMethod = stationary_method
         self.spread = spread
-        self._mapping_cache: dict[tuple[float, float], BlockMapping] = {}
 
     # ------------------------------------------------------------------ #
     # pipeline pieces (exposed for tests and the online consolidator)
     # ------------------------------------------------------------------ #
     def mapping_for(self, vms: Sequence[VMSpec]) -> BlockMapping:
-        """The ``k -> K`` block table for this VM population (cached).
+        """The ``k -> K`` block table for this VM population.
 
         Uses the common ``(p_on, p_off)`` if uniform, otherwise the
-        configured rounding rule.
+        configured rounding rule.  The per-``k`` solves are memoized by the
+        process-wide :class:`repro.perf.cache.MapCalCache`, so a warm table
+        rebuild costs ``d`` dictionary lookups — a placer-local table cache
+        would only hide that traffic from the cache counters.
         """
         p_on, p_off = round_switch_probabilities(vms, self.rounding_rule)
-        key = (p_on, p_off)
-        if key not in self._mapping_cache:
-            self._mapping_cache[key] = mapcal_table(
-                self.d, p_on, p_off, self.rho, method=self.stationary_method
-            )
-        return self._mapping_cache[key]
+        return mapcal_table(
+            self.d, p_on, p_off, self.rho, method=self.stationary_method
+        )
 
     def order_vms(self, vms: Sequence[VMSpec]) -> np.ndarray:
         """Placement order: clusters by ``R_e`` desc, then ``R_b`` desc.

@@ -132,6 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use the exact heterogeneous (Poisson-binomial) "
                            "variant instead of rounding")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the figure/ablation suite, optionally in parallel")
+    bench.add_argument("--parallel", "-j", type=int, default=1, metavar="N",
+                       help="worker processes (1 = serial, identical "
+                            "results)")
+    bench.add_argument("--filter", default="*", metavar="GLOB",
+                       help="fnmatch glob over experiment ids "
+                            "(e.g. 'fig*', 'ablation_*')")
+    bench.add_argument("-o", "--output-dir", type=Path,
+                       default=Path("benchmarks") / "results",
+                       help="aggregate tables + BENCH_results.json here")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="base seed: derive per-job seeds for the "
+                            "figure experiments (default: each "
+                            "experiment's published seed)")
+    bench.add_argument("--progress-jsonl", type=Path, default=None,
+                       help="stream per-job progress events to this JSONL "
+                            "file")
+    bench.add_argument("--list", action="store_true", dest="list_jobs",
+                       help="list matching jobs and exit")
+
     trace = sub.add_parser(
         "trace",
         help="run an experiment under full telemetry (events/metrics/spans)")
@@ -247,6 +269,50 @@ def _cmd_consolidate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Fan the figure/ablation suite across workers; aggregate results."""
+    from repro.perf.bench import iter_job_names, run_bench
+    from repro.perf.cache import cache_stats
+
+    if args.list_jobs:
+        for name in iter_job_names(args.filter):
+            print(name)
+        return 0
+
+    def printer(event) -> None:
+        if event.kind == "bench_job_finished":
+            status = "ok" if event.ok else f"FAILED ({event.error})"
+            print(f"  [{event.job}] {status} in {event.seconds:.1f}s",
+                  flush=True)
+
+    t0 = time.perf_counter()
+    try:
+        results = run_bench(
+            args.filter,
+            parallel=args.parallel,
+            output_dir=args.output_dir,
+            progress_path=args.progress_jsonl,
+            base_seed=args.seed,
+            on_event=printer,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+    failed = [r for r in results if not r.ok]
+    mode = (f"{args.parallel} workers" if args.parallel > 1 else "serial")
+    print(f"[{len(results)} jobs in {elapsed:.1f}s ({mode}); "
+          f"results in {args.output_dir}]")
+    stats = cache_stats()
+    if stats["hits"] + stats["misses"]:
+        print(f"[mapcal cache: {stats['hits']:.0f} hits / "
+              f"{stats['misses']:.0f} misses "
+              f"(hit rate {stats['hit_rate']:.1%})]")
+    for r in failed:
+        print(f"FAILED {r.name}: {r.error}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_trace(args) -> int:
     """Run one experiment inside a :func:`repro.telemetry.tracing` block.
 
@@ -318,6 +384,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fit(args)
     if args.command == "consolidate":
         return _cmd_consolidate(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "dashboard":

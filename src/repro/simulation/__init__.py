@@ -22,6 +22,7 @@ from repro.simulation.migration import (
     MigrationExecutor,
     MigrationPolicy,
     RetryPolicy,
+    StandardPolicy,
     select_target_least_loaded,
     select_target_most_free,
     select_target_reservation_aware,
@@ -66,6 +67,7 @@ __all__ = [
     "MigrationExecutor",
     "MigrationPolicy",
     "RetryPolicy",
+    "StandardPolicy",
     "select_target_least_loaded",
     "select_target_most_free",
     "select_target_reservation_aware",

@@ -22,20 +22,71 @@ from repro.utils.rng import SeedLike, as_generator
 _EPS = 1e-9
 
 
-@dataclass
 class VMRuntime:
-    """A VM's live state: its spec, spike state, and degradation flag."""
+    """A VM's live state: its spec, spike state, and degradation flag.
 
-    spec: VMSpec
-    on: bool = False
-    #: when True the VM is served at ``R_b`` only (graceful degradation);
-    #: its spike demand is shed instead of charged to the host PM
-    throttled: bool = False
+    When hosted by a :class:`Datacenter` the ``on`` / ``throttled`` flags
+    are *views* into the datacenter's fleet-wide state arrays: reading or
+    writing them goes straight to the vectorized store, so the per-interval
+    tick never has to synchronize per-VM Python objects.  A free-standing
+    ``VMRuntime`` (no datacenter) stores the flags locally.
+    """
+
+    __slots__ = ("spec", "_dc", "_idx", "_on_local", "_throttled_local")
+
+    def __init__(self, spec: VMSpec, on: bool = False,
+                 throttled: bool = False):
+        self.spec = spec
+        self._dc: "Datacenter | None" = None
+        self._idx = -1
+        self._on_local = bool(on)
+        self._throttled_local = bool(throttled)
+
+    def _bind(self, dc: "Datacenter", idx: int) -> None:
+        """Attach this runtime to a datacenter's state arrays."""
+        dc._on[idx] = self._on_local
+        dc._throttled[idx] = self._throttled_local
+        self._dc = dc
+        self._idx = idx
+
+    @property
+    def on(self) -> bool:
+        """Whether the VM is currently in its ON (spiking) state."""
+        if self._dc is not None:
+            return bool(self._dc._on[self._idx])
+        return self._on_local
+
+    @on.setter
+    def on(self, value: bool) -> None:
+        if self._dc is not None:
+            self._dc._on[self._idx] = bool(value)
+        else:
+            self._on_local = bool(value)
+
+    @property
+    def throttled(self) -> bool:
+        """When True the VM is served at ``R_b`` only (graceful
+        degradation); its spike demand is shed instead of charged to the
+        host PM."""
+        if self._dc is not None:
+            return bool(self._dc._throttled[self._idx])
+        return self._throttled_local
+
+    @throttled.setter
+    def throttled(self, value: bool) -> None:
+        if self._dc is not None:
+            self._dc._throttled[self._idx] = bool(value)
+        else:
+            self._throttled_local = bool(value)
 
     @property
     def demand(self) -> float:
         """Current resource demand (local resizing keeps allocation == demand)."""
         return self.spec.r_base if self.throttled else self.spec.demand(self.on)
+
+    def __repr__(self) -> str:  # keep the old dataclass-style repr
+        return (f"VMRuntime(spec={self.spec!r}, on={self.on}, "
+                f"throttled={self.throttled})")
 
 
 @dataclass
@@ -78,16 +129,17 @@ class Datacenter:
         if not placement.all_placed:
             raise ValueError("initial placement must place every VM")
         self._rng = as_generator(seed)
-        self.vms = [VMRuntime(spec=v) for v in vms]
         self.pms = [PMRuntime(spec=p) for p in pms]
         self.placement = placement.copy()
         for vm_id, pm_id in self.placement:
             self.pms[pm_id].vm_ids.add(vm_id)
-        # Cache per-VM parameter arrays for the vectorized step.
+        # Cache per-VM/per-PM parameter arrays for the vectorized tick.
         self._p_on = np.array([v.p_on for v in vms])
         self._p_off = np.array([v.p_off for v in vms])
         self._r_base = np.array([v.r_base for v in vms])
         self._r_extra = np.array([v.r_extra for v in vms])
+        self._caps = np.array([p.capacity for p in pms], dtype=float)
+        self._caps.setflags(write=False)
         # The *assumed* law, frozen from the specs at construction: the
         # stationary ON probability MapCal consolidated against, and the
         # asymptotic per-interval variance rate of the ON-state occupation
@@ -101,21 +153,25 @@ class Datacenter:
         self._var_rate_assumed = q * (1.0 - q) * (1.0 + r) / (1.0 - r)
         self._on = np.zeros(len(vms), dtype=bool)
         self._throttled = np.zeros(len(vms), dtype=bool)
+        self.vms = [VMRuntime(spec=v) for v in vms]
+        for i, runtime in enumerate(self.vms):
+            runtime._bind(self, i)
         if start_stationary and len(vms):
             self._on = self._rng.random(len(vms)) < q
-            for i, runtime in enumerate(self.vms):
-                runtime.on = bool(self._on[i])
 
     # ------------------------------------------------------------------ #
     # dynamics
     # ------------------------------------------------------------------ #
     def step(self) -> None:
-        """Advance every VM's ON-OFF chain by one interval (vectorized)."""
+        """Advance every VM's ON-OFF chain by one interval (vectorized).
+
+        One RNG draw vector per interval; the fleet-wide transition is a
+        single masked update and the :class:`VMRuntime` views observe it
+        with no per-VM synchronization loop.
+        """
         with timed("datacenter.step"):
             u = self._rng.random(len(self.vms))
             self._on = np.where(self._on, u >= self._p_off, u < self._p_on)
-            for i, runtime in enumerate(self.vms):
-                runtime.on = bool(self._on[i])
 
     # ------------------------------------------------------------------ #
     # queries
@@ -153,15 +209,29 @@ class Datacenter:
         np.add.at(loads, self.placement.assignment, self.vm_demands())
         return loads
 
+    def pm_capacities(self) -> np.ndarray:
+        """Per-PM capacity vector (cached, read-only — specs are frozen)."""
+        return self._caps
+
+    def pm_used_mask(self) -> np.ndarray:
+        """Boolean mask of powered-on (non-empty) PMs, vectorized.
+
+        Derived from the placement assignment, which :meth:`migrate` keeps
+        in lockstep with the per-PM ``vm_ids`` sets.
+        """
+        mask = np.zeros(self.n_pms, dtype=bool)
+        assignment = self.placement.assignment
+        mask[assignment[assignment >= 0]] = True
+        return mask
+
     def overloaded_pms(self) -> np.ndarray:
         """PM indices whose load currently exceeds capacity."""
         loads = self.pm_loads()
-        caps = np.array([p.spec.capacity for p in self.pms])
-        return np.flatnonzero(loads > caps + _EPS)
+        return np.flatnonzero(loads > self._caps + _EPS)
 
     def used_pm_count(self) -> int:
         """Number of powered-on (non-empty) PMs."""
-        return sum(1 for p in self.pms if p.is_used)
+        return int(self.pm_used_mask().sum())
 
     def pm_base_loads(self) -> np.ndarray:
         """Aggregate *base* (OFF-state) demand per PM — spike-independent."""
@@ -232,7 +302,6 @@ class Datacenter:
         if not 0 <= vm_id < self.n_vms:
             raise ValueError(f"vm_id must be in [0, {self.n_vms}), got {vm_id}")
         self._throttled[vm_id] = bool(throttled)
-        self.vms[vm_id].throttled = bool(throttled)
 
     def migrate(self, vm_id: int, target_pm: int) -> int:
         """Move VM ``vm_id`` to ``target_pm``; returns the source PM."""

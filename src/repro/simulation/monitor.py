@@ -204,8 +204,8 @@ class Monitor:
                 f"datacenter has {dc.n_pms} PMs but monitor was built for {self._n_pms}"
             )
         loads = dc.pm_loads()
-        caps = np.array([p.spec.capacity for p in dc.pms])
-        used = np.array([p.is_used for p in dc.pms])
+        caps = dc.pm_capacities()
+        used = dc.pm_used_mask()
         violated = loads > caps + _EPS
         # the interval index is how many intervals we recorded so far
         t = len(self._pms_used)

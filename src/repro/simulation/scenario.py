@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-import numpy as np
-
 from repro.analysis.availability import availability_report
 from repro.analysis.fairness import fairness_report
 from repro.core.types import PMSpec, VMSpec
@@ -146,6 +144,12 @@ class Scenario:
         is subscribed to the event bus for the duration of the run, so its
         recorder/SLO/drift state is maintained *during* execution and its
         alerts are emitted into the same stream the run records.
+    tick_mode:
+        ``"vectorized"`` (default) uses the batched NumPy tick;
+        ``"scalar"`` runs the per-VM/per-PM Python reference path
+        (:class:`repro.perf.reference.ScalarReferenceDatacenter`), which
+        produces bit-identical reports and exists for verification and
+        speedup measurement.
     """
 
     def __init__(
@@ -167,6 +171,7 @@ class Scenario:
         telemetry: Telemetry | None = None,
         snapshot_every: int | None = None,
         observatory: Any | None = None,
+        tick_mode: str = "vectorized",
     ):
         if not vms or not pms:
             raise ValueError("need at least one VM and one PM")
@@ -206,6 +211,10 @@ class Scenario:
             snapshot_every = 1  # an observatory without snapshots is blind
         self.snapshot_every = snapshot_every
         self.observatory = observatory
+        if tick_mode not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"tick_mode must be 'vectorized' or 'scalar', got {tick_mode!r}")
+        self.tick_mode = tick_mode
 
     def run(self, n_intervals: int = 100, *, seed: SeedLike = None,
             on_tick: Any | None = None) -> ScenarioReport:
@@ -225,8 +234,12 @@ class Scenario:
         rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
         placement = self.placer.place_and_report(self.vms, self.pms,
                                                  telemetry=tel)
-        dc = Datacenter(self.vms, self.pms, placement, seed=rng_dc,
-                        start_stationary=self.start_stationary)
+        dc_cls = Datacenter
+        if self.tick_mode == "scalar":
+            from repro.perf.reference import ScalarReferenceDatacenter
+            dc_cls = ScalarReferenceDatacenter
+        dc = dc_cls(self.vms, self.pms, placement, seed=rng_dc,
+                    start_stationary=self.start_stationary)
         #: the live datacenter of the current run — exposed so on_tick
         #: observers can inspect or perturb it (e.g. drift injection)
         self.datacenter = dc
@@ -271,11 +284,8 @@ class Scenario:
                     failed_migrations=scheduler.failed_attempts_last_interval,
                 )
                 if self.energy_model is not None:
-                    loads = dc.pm_loads()
-                    caps = np.array([p.spec.capacity for p in dc.pms])
-                    on = np.array([p.is_used for p in dc.pms])
                     energy_total += self.energy_model.fleet_power(
-                        loads, caps, on
+                        dc.pm_loads(), dc.pm_capacities(), dc.pm_used_mask()
                     ) * self.interval_seconds
 
         engine.add_hook("tick", tick)

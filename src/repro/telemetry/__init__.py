@@ -34,6 +34,8 @@ from repro.telemetry.events import (
     PRE_RUN,
     AlertFired,
     AlertResolved,
+    BenchJobFinished,
+    BenchJobStarted,
     CapacityViolation,
     DegradationApplied,
     DriftDetected,
@@ -84,6 +86,8 @@ __all__ = [
     "PRE_RUN",
     "AlertFired",
     "AlertResolved",
+    "BenchJobFinished",
+    "BenchJobStarted",
     "CapacityViolation",
     "DegradationApplied",
     "DriftDetected",

@@ -312,3 +312,36 @@ class DriftDetected(TelemetryEvent):
     observed_on_fraction: float = 0.0
     expected_on_fraction: float = 0.0
     windows: int = 1
+
+
+# --------------------------------------------------------------------- #
+# benchmark orchestration (the parallel experiment runner)
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class BenchJobStarted(TelemetryEvent):
+    """A figure/ablation job was handed to a benchmark worker.
+
+    ``time`` carries the job's submission index (benchmark events live on
+    the orchestration clock, not the simulation interval clock).
+    """
+
+    kind: ClassVar[str] = "bench_job_started"
+
+    job: str
+    seed: int = 0
+    worker_count: int = 1
+
+
+@register
+@dataclass(frozen=True)
+class BenchJobFinished(TelemetryEvent):
+    """A benchmark job completed (or failed); ``time`` is completion order."""
+
+    kind: ClassVar[str] = "bench_job_finished"
+
+    job: str
+    seconds: float = 0.0
+    ok: bool = True
+    error: str = ""
+    rows_sha256: str = ""

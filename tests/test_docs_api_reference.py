@@ -1,0 +1,98 @@
+"""Docs-drift guard: every name docs/API.md promises must actually import.
+
+The API reference is a set of per-package tables whose first column holds
+backticked identifiers.  This test parses each ``## `repro.xxx` `` section,
+extracts those identifiers, and resolves every one against the section's
+module(s) — so renaming or removing a public symbol without updating the
+docs (or documenting a symbol that does not exist) fails CI with the exact
+table line that drifted.
+
+Skipped on purpose: wildcard rows (``select_vm_*``), CLI invocations
+(anything with spaces after stripping a signature), and non-identifier
+fragments.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+def parse_api_names() -> list[tuple[tuple[str, ...], str, int]]:
+    """Yield ``(section_modules, dotted_name, line_number)`` triples."""
+    entries = []
+    modules: tuple[str, ...] = ()
+    for lineno, line in enumerate(API_MD.read_text().splitlines(), start=1):
+        if line.startswith("## "):
+            modules = tuple(re.findall(r"`(repro[\w.]*)`", line))
+            continue
+        if not modules or not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1].strip()
+        if not first_cell or set(first_cell) <= set("-: ") \
+                or first_cell.lower() == "name":
+            continue  # separator or header row
+        for token in re.findall(r"`([^`]+)`", first_cell):
+            token = token.split("(")[0]
+            for piece in re.split(r"[/·+]", token):
+                piece = piece.strip()
+                if IDENTIFIER.fullmatch(piece):
+                    entries.append((modules, piece, lineno))
+    return entries
+
+
+def resolve_name(module_names: tuple[str, ...], dotted: str):
+    """Resolve ``dotted`` against any of the section's modules."""
+    for module_name in module_names:
+        target: object = importlib.import_module(module_name)
+        try:
+            for part in dotted.split("."):
+                try:
+                    target = getattr(target, part)
+                except AttributeError:
+                    # a submodule documented as `pkg.attr` (e.g.
+                    # `ablations.ABLATIONS`) before anything imported it
+                    target = importlib.import_module(
+                        f"{module_name}.{part}")
+            return target
+        except (AttributeError, ImportError):
+            continue
+    return None
+
+
+ENTRIES = parse_api_names()
+
+
+def test_reference_is_parseable_and_substantial():
+    """A parser regression must not silently skip the whole document."""
+    assert len(ENTRIES) > 120, (
+        f"only {len(ENTRIES)} names parsed from docs/API.md — "
+        "did the table format change?"
+    )
+    sections = {mods for mods, _, _ in ENTRIES}
+    flat = {m for mods in sections for m in mods}
+    for expected in ("repro.core", "repro.perf", "repro.telemetry",
+                     "repro.observability", "repro.simulation"):
+        assert expected in flat, f"section for {expected} missing"
+
+
+@pytest.mark.parametrize(
+    "modules,name",
+    sorted({(mods, name) for mods, name, _ in ENTRIES}),
+    ids=lambda v: v if isinstance(v, str) else "/".join(v),
+)
+def test_documented_name_imports(modules, name):
+    resolved = resolve_name(modules, name)
+    lines = [ln for mods, n, ln in ENTRIES
+             if n == name and mods == modules]
+    assert resolved is not None, (
+        f"docs/API.md line {lines[0]}: `{name}` is not importable from "
+        f"any of {', '.join(modules)} — update the table or the package"
+    )

@@ -1,0 +1,139 @@
+"""Bit-identical parity: vectorized tick vs the scalar reference path.
+
+The fast path's contract is not "statistically equivalent" but *identical*:
+both datacenters consume the same RNG stream (one uniform draw per VM per
+interval) and accumulate PM loads in the same order, so every derived
+quantity — migrations, CVR, fairness, failure accounting — must match to
+the last bit.  These tests sweep random fleet shapes and scenario features
+(failures, migration flakiness, costing, energy) and compare the complete
+:class:`~repro.simulation.monitor.RunRecord`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.queuing_ffd import QueuingFFD
+from repro.perf.reference import ScalarReferenceDatacenter
+from repro.simulation.costmodel import MigrationCostModel
+from repro.simulation.datacenter import Datacenter
+from repro.simulation.energy import EnergyModel
+from repro.simulation.scenario import Scenario
+from repro.workload.patterns import generate_pattern_instance
+
+
+def assert_reports_identical(a, b):
+    ra, rb = a.record, b.record
+    assert ra.n_intervals == rb.n_intervals
+    np.testing.assert_array_equal(ra.pms_used_series, rb.pms_used_series)
+    np.testing.assert_array_equal(ra.migrations_per_interval,
+                                  rb.migrations_per_interval)
+    np.testing.assert_array_equal(ra.violation_counts, rb.violation_counts)
+    np.testing.assert_array_equal(ra.presence_counts, rb.presence_counts)
+    np.testing.assert_array_equal(ra.vm_suffering_counts,
+                                  rb.vm_suffering_counts)
+    np.testing.assert_array_equal(ra.vm_down_counts, rb.vm_down_counts)
+    np.testing.assert_array_equal(ra.vm_degraded_counts,
+                                  rb.vm_degraded_counts)
+    assert ra.failed_migration_attempts == rb.failed_migration_attempts
+    assert ra.migrations == rb.migrations
+    assert a.initial_pms_used == b.initial_pms_used
+    assert a.final_pms_used == b.final_pms_used
+    assert a.mean_cvr == b.mean_cvr and a.max_cvr == b.max_cvr
+    assert a.fairness == b.fairness
+    assert a.energy_joules == b.energy_joules
+    assert a.migration_downtime_seconds == b.migration_downtime_seconds
+    if a.failures is None:
+        assert b.failures is None
+    else:
+        assert a.failures == b.failures
+
+
+def run_both(vms, pms, *, n_intervals, seed, **kwargs):
+    reports = []
+    for mode in ("vectorized", "scalar"):
+        scenario = Scenario(vms, pms, placer=QueuingFFD(rho=0.01, d=16),
+                            tick_mode=mode, **kwargs)
+        reports.append(scenario.run(n_intervals, seed=seed))
+    return reports
+
+
+PATTERNS = ("equal", "small", "large")
+
+
+class TestTickParity:
+    def test_raw_step_stream_identical(self):
+        vms, pms = generate_pattern_instance("small", 60, seed=3)
+        placement = QueuingFFD(rho=0.01, d=16).place(vms, pms)
+        fast = Datacenter(vms, pms, placement, seed=11, start_stationary=True)
+        slow = ScalarReferenceDatacenter(vms, pms, placement, seed=11,
+                                         start_stationary=True)
+        for _ in range(50):
+            fast.step()
+            slow.step()
+            np.testing.assert_array_equal(fast._on, slow._on)
+            np.testing.assert_array_equal(fast.vm_demands(),
+                                          slow.vm_demands())
+            np.testing.assert_array_equal(fast.pm_loads(), slow.pm_loads())
+            np.testing.assert_array_equal(fast.pm_used_mask(),
+                                          slow.pm_used_mask())
+            np.testing.assert_array_equal(fast.overloaded_pms(),
+                                          slow.overloaded_pms())
+
+    @pytest.mark.parametrize("case", range(20))
+    def test_random_scenarios_bit_identical(self, case):
+        shape_rng = np.random.default_rng(900 + case)
+        n_vms = int(shape_rng.integers(10, 80))
+        pattern = PATTERNS[case % len(PATTERNS)]
+        vms, pms = generate_pattern_instance(pattern, n_vms,
+                                             seed=1000 + case)
+        kwargs = {}
+        if case % 2 == 0:
+            kwargs["failures"] = True
+        if case % 3 == 0:
+            kwargs["migration_failure_probability"] = 0.1
+        if case % 4 == 0:
+            kwargs["start_stationary"] = True
+        if case % 5 == 0:
+            kwargs["energy_model"] = EnergyModel()
+        a, b = run_both(vms, pms, n_intervals=30, seed=7000 + case, **kwargs)
+        assert_reports_identical(a, b)
+
+    def test_fig9_shape_scenario_identical(self):
+        vms, pms = generate_pattern_instance("large", 200, seed=2013)
+        a, b = run_both(
+            vms, pms, n_intervals=60, seed=2013,
+            failures=True, migration_failure_probability=0.05,
+            cost_model=MigrationCostModel(), energy_model=EnergyModel(),
+            start_stationary=True,
+        )
+        assert_reports_identical(a, b)
+
+    def test_bad_tick_mode_rejected(self):
+        vms, pms = generate_pattern_instance("equal", 10, seed=1)
+        with pytest.raises(ValueError, match="tick_mode"):
+            Scenario(vms, pms, placer=QueuingFFD(), tick_mode="turbo")
+
+
+class TestRuntimeViews:
+    """The array-backed VMRuntime views stay coherent with the arrays."""
+
+    def test_property_writes_hit_the_arrays(self):
+        vms, pms = generate_pattern_instance("equal", 8, seed=5)
+        placement = QueuingFFD(rho=0.01, d=16).place(vms, pms)
+        dc = Datacenter(vms, pms, placement, seed=0)
+        dc.vms[3].on = True
+        assert bool(dc._on[3])
+        dc._on[3] = False
+        assert dc.vms[3].on is False
+        dc.vms[2].throttled = True
+        assert bool(dc._throttled[2])
+
+    def test_unbound_runtime_keeps_local_flags(self):
+        from repro.simulation.datacenter import VMRuntime
+        from repro.core.types import VMSpec
+        rt = VMRuntime(spec=VMSpec(0.1, 0.4, 1.0, 2.0))
+        rt.on = True
+        assert rt.on is True and rt.throttled is False
+        assert "VMRuntime" in repr(rt)

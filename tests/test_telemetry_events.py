@@ -9,6 +9,8 @@ from repro.telemetry import (
     PRE_RUN,
     AlertFired,
     AlertResolved,
+    BenchJobFinished,
+    BenchJobStarted,
     CapacityViolation,
     DegradationApplied,
     DriftDetected,
@@ -54,6 +56,9 @@ SAMPLES = [
     DriftDetected(time=30, pm_id=2, statistic=12.5, threshold=10.83,
                   observed_on_fraction=0.2, expected_on_fraction=0.1,
                   windows=2),
+    BenchJobStarted(time=0, job="fig9", seed=2013, worker_count=4),
+    BenchJobFinished(time=1, job="fig9", seconds=3.5, ok=True, error="",
+                     rows_sha256="ab" * 32),
 ]
 
 
