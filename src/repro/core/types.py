@@ -43,10 +43,17 @@ class VMSpec:
     r_extra: float
 
     def __post_init__(self) -> None:
-        check_probability(self.p_on, "p_on", allow_zero=False)
-        check_probability(self.p_off, "p_off", allow_zero=False)
-        check_non_negative(self.r_base, "r_base")
-        check_non_negative(self.r_extra, "r_extra")
+        try:
+            check_probability(self.p_on, "p_on", allow_zero=False)
+            check_probability(self.p_off, "p_off", allow_zero=False)
+            check_non_negative(self.r_base, "r_base")
+            check_non_negative(self.r_extra, "r_extra")
+        except (TypeError, ValueError) as exc:
+            raise type(exc)(
+                f"invalid VMSpec: {exc} — expected the paper's four-tuple "
+                f"(p_on, p_off, R_b, R_e): spike start/stop probabilities "
+                f"in (0, 1] and non-negative base/extra demands"
+            ) from None
 
     @property
     def r_peak(self) -> float:
@@ -74,7 +81,14 @@ class PMSpec:
     capacity: float
 
     def __post_init__(self) -> None:
-        check_positive(self.capacity, "capacity")
+        try:
+            check_positive(self.capacity, "capacity")
+        except (TypeError, ValueError) as exc:
+            raise type(exc)(
+                f"invalid PMSpec: {exc} — capacity is the PM's resource "
+                f"budget C_j in the same units as VM demands and must be "
+                f"a finite positive number"
+            ) from None
 
 
 @dataclass

@@ -153,6 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "file")
     bench.add_argument("--list", action="store_true", dest="list_jobs",
                        help="list matching jobs and exit")
+    bench.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR",
+                       help="resume an interrupted run: re-execute only "
+                            "jobs without a verified result in RUN_DIR's "
+                            "journal, then re-aggregate")
+    bench.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="deterministic fault injection, e.g. "
+                            "'kill-worker:p=0.2,stall:p=0.1' (implies the "
+                            "durable runner)")
+    bench.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="attempts per job before quarantine "
+                            "(durable runner)")
+    bench.add_argument("--job-timeout", type=float, default=900.0,
+                       metavar="SECONDS",
+                       help="per-attempt wall-clock ceiling "
+                            "(durable runner)")
+    bench.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="kill a worker whose heartbeat is older than "
+                            "this (durable runner)")
 
     trace = sub.add_parser(
         "trace",
@@ -221,6 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_fit(args) -> int:
+    try:
+        return _run_fit(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_fit(args) -> int:
     from repro.core.types import PMSpec
     from repro.markov.hmm import fit_hmm_onoff
     from repro.workload.estimation import fit_onoff
@@ -246,6 +273,14 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_consolidate(args) -> int:
+    try:
+        return _run_consolidate(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_consolidate(args) -> int:
     from repro.core.heterogeneous import HeterogeneousQueuingFFD
     from repro.core.queuing_ffd import QueuingFFD
     from repro.workload.io import load_instance, save_placement
@@ -270,7 +305,14 @@ def _cmd_consolidate(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    """Fan the figure/ablation suite across workers; aggregate results."""
+    """Fan the figure/ablation suite across workers; aggregate results.
+
+    Routing: plain serial runs (no chaos, no resume) execute in-process via
+    :func:`repro.perf.bench.run_bench`; anything needing supervision —
+    ``--parallel > 1``, ``--chaos``, ``--resume`` — goes through the
+    durable worker pool (:mod:`repro.experiments.durability`), which adds
+    heartbeats, timeouts, retries, quarantine, and the crash-safe journal.
+    """
     from repro.perf.bench import iter_job_names, run_bench
     from repro.perf.cache import cache_stats
 
@@ -284,25 +326,76 @@ def _cmd_bench(args) -> int:
             status = "ok" if event.ok else f"FAILED ({event.error})"
             print(f"  [{event.job}] {status} in {event.seconds:.1f}s",
                   flush=True)
+        elif event.kind == "job_retried":
+            print(f"  [{event.job}] attempt {event.attempt} failed "
+                  f"({event.error}); retrying in {event.backoff_seconds:.1f}s",
+                  flush=True)
+        elif event.kind == "job_quarantined":
+            print(f"  [{event.job}] quarantined after {event.attempts} "
+                  f"attempts ({event.error})", flush=True)
+        elif event.kind == "run_resumed":
+            print(f"  [resume] {event.completed} job(s) restored, "
+                  f"{event.remaining} to run", flush=True)
 
+    durable = (args.resume is not None or args.chaos is not None
+               or args.parallel > 1)
+    interrupted = False
+    report = None
     t0 = time.perf_counter()
     try:
-        results = run_bench(
-            args.filter,
-            parallel=args.parallel,
-            output_dir=args.output_dir,
-            progress_path=args.progress_jsonl,
-            base_seed=args.seed,
-            on_event=printer,
-        )
-    except ValueError as exc:
+        if durable:
+            from repro.experiments.durability import (
+                BenchRetryPolicy,
+                ChaosConfig,
+                run_durable_bench,
+            )
+
+            chaos = None
+            if args.chaos is not None:
+                chaos = ChaosConfig.parse(
+                    args.chaos, seed=args.seed if args.seed is not None else 0)
+            output_dir = (args.resume if args.resume is not None
+                          else args.output_dir)
+            report = run_durable_bench(
+                args.filter,
+                parallel=args.parallel,
+                output_dir=output_dir,
+                base_seed=args.seed,
+                retry=BenchRetryPolicy(max_attempts=args.max_attempts),
+                job_timeout=args.job_timeout,
+                heartbeat_timeout=args.heartbeat_timeout,
+                chaos=chaos,
+                resume=args.resume is not None,
+                progress_path=args.progress_jsonl,
+                on_event=printer,
+                install_signal_handlers=True,
+            )
+            results = report.results
+            interrupted = report.interrupted
+        else:
+            output_dir = args.output_dir
+            results = run_bench(
+                args.filter,
+                parallel=args.parallel,
+                output_dir=output_dir,
+                progress_path=args.progress_jsonl,
+                base_seed=args.seed,
+                on_event=printer,
+            )
+    except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
     failed = [r for r in results if not r.ok]
     mode = (f"{args.parallel} workers" if args.parallel > 1 else "serial")
+    if durable:
+        mode += ", durable"
     print(f"[{len(results)} jobs in {elapsed:.1f}s ({mode}); "
-          f"results in {args.output_dir}]")
+          f"results in {output_dir}]")
+    if report is not None and (report.retried or report.quarantined):
+        print(f"[recovery: {report.retried} retr"
+              f"{'y' if report.retried == 1 else 'ies'}, "
+              f"{len(report.quarantined)} quarantined]")
     stats = cache_stats()
     if stats["hits"] + stats["misses"]:
         print(f"[mapcal cache: {stats['hits']:.0f} hits / "
@@ -310,6 +403,10 @@ def _cmd_bench(args) -> int:
               f"(hit rate {stats['hit_rate']:.1%})]")
     for r in failed:
         print(f"FAILED {r.name}: {r.error}", file=sys.stderr)
+    if interrupted:
+        print(f"interrupted; resume with: python -m repro bench "
+              f"--resume {output_dir}", file=sys.stderr)
+        return 130
     return 1 if failed else 0
 
 

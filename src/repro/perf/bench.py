@@ -13,9 +13,10 @@ results directory (``benchmarks/results/`` by convention).
 Determinism contract: with ``parallel=1`` jobs execute serially in sorted
 name order through *exactly* the same code path; with ``parallel=N`` the
 same jobs run in worker processes and only wall-clock changes — the
-rendered tables (and their content hashes in ``BENCH_results.json``) are
-identical, which the CI ``bench-smoke`` job asserts by diffing a serial
-against a parallel run.
+rendered tables and ``BENCH_results.json`` (per-job seeds, outcomes, and
+content hashes; wall-clock lives in the separate ``BENCH_timings.json``)
+are byte-identical, which the CI ``bench-smoke`` and ``chaos-smoke`` jobs
+assert by diffing runs.
 
 Per-job seeds: every job derives a stable seed from ``(base_seed, name)``
 (CRC-32 — cheap, deterministic, platform-independent).  With the default
@@ -169,8 +170,9 @@ def run_bench(
         Worker processes.  ``1`` (default) runs serially in-process — the
         identical code path, just without a pool.
     output_dir:
-        When given, write ``<name>.txt`` per job plus a
-        ``BENCH_results.json`` summary (timings, content hashes).
+        When given, write ``<name>.txt`` per job plus the
+        ``BENCH_results.json`` summary (outcomes, content hashes) and
+        ``BENCH_timings.json`` (wall-clock).
     progress_path:
         When given, stream started/finished events to this JSONL file.
     base_seed:
@@ -211,8 +213,8 @@ def run_bench(
         progress.close()
     results = [BenchJobResult(**raw[name]) for name in names]
     if output_dir is not None:
-        _aggregate(Path(output_dir), results, pattern=pattern,
-                   parallel=parallel, base_seed=base_seed)
+        aggregate_results(Path(output_dir), results, pattern=pattern,
+                          parallel=parallel, base_seed=base_seed)
     return results
 
 
@@ -220,21 +222,38 @@ def _finished_event(order: int, payload: dict) -> BenchJobFinished:
     return BenchJobFinished(
         time=order, job=payload["name"], seconds=payload["seconds"],
         ok=payload["ok"], error=payload["error"],
-        rows_sha256=payload["rows_sha256"])
+        rows_sha256=payload["rows_sha256"],
+        seed=payload["seed"] if payload["seed"] is not None else -1)
 
 
-def _aggregate(output_dir: Path, results: list[BenchJobResult], *,
-               pattern: str, parallel: int, base_seed: int | None) -> None:
-    """Persist per-job tables and the run summary under ``output_dir``."""
+def aggregate_results(output_dir: Path, results: list[BenchJobResult], *,
+                      pattern: str, parallel: int,
+                      base_seed: int | None) -> None:
+    """Persist per-job tables and the run summaries under ``output_dir``.
+
+    ``BENCH_results.json`` holds only run-invariant facts (per-job seed,
+    outcome, error, content hash) so any two runs of the same suite — serial
+    vs parallel, clean vs chaos-interrupted-then-resumed — produce byte-for-
+    byte identical files.  Wall-clock noise goes to ``BENCH_timings.json``.
+    """
     output_dir.mkdir(parents=True, exist_ok=True)
     for r in results:
         if r.ok:
             (output_dir / f"{r.name}.txt").write_text(r.text + "\n")
     summary = {
         "pattern": pattern,
-        "parallel": parallel,
         "base_seed": base_seed,
-        "jobs": {r.name: r.summary_dict() for r in results},
+        "jobs": {
+            r.name: {"seed": r.seed, "ok": r.ok, "error": r.error,
+                     "rows_sha256": r.rows_sha256}
+            for r in results
+        },
     }
     (output_dir / "BENCH_results.json").write_text(
-        json.dumps(summary, indent=2) + "\n")
+        json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    timings = {
+        "parallel": parallel,
+        "jobs": {r.name: r.seconds for r in results},
+    }
+    (output_dir / "BENCH_timings.json").write_text(
+        json.dumps(timings, indent=2, sort_keys=True) + "\n")

@@ -17,8 +17,10 @@ parameter tuple:
   what makes the parallel benchmark runner's workers and repeated CLI
   invocations start warm.
 
-Corrupt or truncated disk entries are treated as misses and rewritten —
-never raised.  Hit/miss/disk-hit counters are published to the ambient
+Corrupt or truncated disk entries are treated as misses — never raised:
+the damaged file is quarantined (renamed to ``*.corrupt`` so it can be
+inspected and never poisons another read), a rate-limited WARN is logged,
+and the value is recomputed and rewritten.  Hit/miss/disk-hit counters are published to the ambient
 telemetry metrics registry (:func:`repro.telemetry.resolve`) under
 ``mapcal_cache_hits_total`` / ``mapcal_cache_misses_total`` /
 ``mapcal_cache_disk_hits_total``.
@@ -35,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -42,6 +45,9 @@ from pathlib import Path
 from typing import Callable
 
 from repro.telemetry import resolve
+from repro.telemetry.logfilter import LogRateLimiter
+
+logger = logging.getLogger(__name__)
 
 #: cache-format version; bump to invalidate every persisted entry
 CACHE_VERSION = 1
@@ -81,6 +87,10 @@ class MapCalCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt = 0
+        # one WARN per 10 quarantined entries: a systematically trashed
+        # cache directory degrades the log, not floods it
+        self._warn_limiter = LogRateLimiter(window=10)
 
     # ------------------------------------------------------------------ #
     # metrics plumbing
@@ -143,13 +153,39 @@ class MapCalCache:
     def _disk_read(self, key: CacheKey) -> int | None:
         if self.disk_dir is None:
             return None
+        path = self._path_for(key)
         try:
-            payload = json.loads(self._path_for(key).read_text())
+            raw = path.read_text()
+        except OSError:
+            return None  # absent / unreadable disk -> plain miss
+        try:
+            payload = json.loads(raw)
             if payload["key"] != list(_jsonable(key)):
                 return None  # hash collision or stale format: recompute
             return int(payload["value"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return None  # absent / truncated / corrupt -> miss, never crash
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)  # truncated / corrupt -> never crash
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Set a damaged entry aside as ``*.corrupt`` and warn (rate-limited).
+
+        The rename removes the bad file from the lookup path (the recompute
+        rewrites a fresh entry) while keeping the bytes around for a
+        post-mortem.  Rename failures are swallowed: the subsequent atomic
+        rewrite replaces the file anyway.
+        """
+        self.corrupt += 1
+        self._count("mapcal_cache_corrupt_total")
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        if self._warn_limiter.allow("mapcal_cache", "corrupt", self.corrupt):
+            logger.warning(
+                "mapcal cache entry %s is corrupt; quarantined as "
+                "%s.corrupt and recomputing (%d corrupt so far)",
+                path.name, path.name, self.corrupt)
 
     def _disk_write(self, key: CacheKey, value: int) -> None:
         if self.disk_dir is None:
@@ -187,6 +223,7 @@ class MapCalCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
             "entries": len(self._lru),
         }
@@ -194,7 +231,7 @@ class MapCalCache:
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory LRU (and optionally the disk store)."""
         self._lru.clear()
-        self.hits = self.misses = self.disk_hits = 0
+        self.hits = self.misses = self.disk_hits = self.corrupt = 0
         if disk and self.disk_dir is not None and self.disk_dir.is_dir():
             for path in self.disk_dir.glob("mapcal-*.json"):
                 try:

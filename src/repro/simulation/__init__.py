@@ -35,7 +35,19 @@ from repro.simulation.arrivals import DynamicFleetRecord, DynamicFleetSimulator
 from repro.simulation.failures import FailureInjector, FailureRecord
 from repro.simulation.topology import Topology
 from repro.simulation.reconsolidation import ReconsolidationScheduler
-from repro.simulation.scenario import Scenario, ScenarioReport, compare_scenarios
+from repro.simulation.scenario import (
+    Scenario,
+    ScenarioReport,
+    ScenarioRun,
+    compare_scenarios,
+)
+from repro.simulation.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.simulation.costmodel import (
     CostedScheduler,
     MigrationAccount,
@@ -52,7 +64,13 @@ __all__ = [
     "ReconsolidationScheduler",
     "Scenario",
     "ScenarioReport",
+    "ScenarioRun",
     "compare_scenarios",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
     "CostedScheduler",
     "MigrationAccount",
     "MigrationCostModel",

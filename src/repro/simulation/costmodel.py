@@ -159,3 +159,42 @@ class CostedScheduler(DynamicScheduler):
                           overhead=overhead)
             )
         return events
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """Extend the scheduler snapshot with costs and in-flight transfers."""
+        state = super().capture_state()
+        acct = self.account
+        state["account"] = {
+            "n_migrations": acct.n_migrations,
+            "total_downtime_seconds": acct.total_downtime_seconds,
+            "total_duration_intervals": acct.total_duration_intervals,
+            "overhead_pm_intervals": acct.overhead_pm_intervals,
+            "per_vm_downtime": {str(k): v
+                                for k, v in acct.per_vm_downtime.items()},
+        }
+        state["in_flight"] = [
+            [f.vm_id, f.source_pm, f.target_pm, f.remaining, f.overhead]
+            for f in self._in_flight
+        ]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the scheduler plus migration accounting and transfers."""
+        super().restore_state(state)
+        acct = state["account"]
+        self.account = MigrationAccount(
+            n_migrations=int(acct["n_migrations"]),
+            total_downtime_seconds=float(acct["total_downtime_seconds"]),
+            total_duration_intervals=int(acct["total_duration_intervals"]),
+            overhead_pm_intervals=float(acct["overhead_pm_intervals"]),
+            per_vm_downtime={int(k): float(v)
+                             for k, v in acct["per_vm_downtime"].items()},
+        )
+        self._in_flight = [
+            _InFlight(vm_id=int(v), source_pm=int(s), target_pm=int(t),
+                      remaining=int(r), overhead=float(o))
+            for v, s, t, r, o in state["in_flight"]
+        ]

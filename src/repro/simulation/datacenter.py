@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.telemetry import timed
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    capture_rng_state,
+    restore_rng_state,
+)
 
 _EPS = 1e-9
 
@@ -309,3 +314,46 @@ class Datacenter:
         self.pms[src].vm_ids.discard(vm_id)
         self.pms[target_pm].vm_ids.add(vm_id)
         return src
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of every mutable field (for checkpointing).
+
+        Covers the RNG stream, the ON/OFF and throttle masks, the *actual*
+        switch probabilities (which :meth:`set_switch_probabilities` may
+        have drifted away from the specs), and the placement.  The frozen
+        spec-derived arrays (``_q_assumed``, caps, base/extra demands) are
+        reconstructed from the specs and need no snapshot.
+        """
+        return {
+            "rng": capture_rng_state(self._rng),
+            "on": self._on.tolist(),
+            "throttled": self._throttled.tolist(),
+            "p_on": self._p_on.tolist(),
+            "p_off": self._p_off.tolist(),
+            "assignment": self.placement.assignment.tolist(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from a :meth:`capture_state` snapshot."""
+        for key in ("on", "throttled", "p_on", "p_off", "assignment"):
+            if len(state[key]) != self.n_vms:
+                raise ValueError(
+                    f"checkpoint field {key!r} has {len(state[key])} entries "
+                    f"but datacenter has {self.n_vms} VMs"
+                )
+        self._rng = restore_rng_state(state["rng"])
+        self._on = np.array(state["on"], dtype=bool)
+        self._throttled = np.array(state["throttled"], dtype=bool)
+        self._p_on = np.array(state["p_on"], dtype=float)
+        self._p_off = np.array(state["p_off"], dtype=float)
+        self.placement = Placement(
+            self.n_vms, self.n_pms,
+            np.array(state["assignment"], dtype=np.int64),
+        )
+        for pm in self.pms:
+            pm.vm_ids.clear()
+        for vm_id, pm_id in self.placement:
+            self.pms[pm_id].vm_ids.add(vm_id)

@@ -31,6 +31,11 @@ class SimulationEngine:
         """Intervals completed so far."""
         return self._time
 
+    @time.setter
+    def time(self, value: int) -> None:
+        """Jump the clock (checkpoint restore); hooks see the new index."""
+        self._time = check_integer(value, "time", minimum=0)
+
     def add_hook(self, name: str, hook: Hook) -> None:
         """Register a per-interval hook; names must be unique."""
         if any(n == name for n, _ in self._hooks):

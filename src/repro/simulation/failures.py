@@ -45,7 +45,12 @@ from repro.telemetry import (
     resolve,
     timed,
 )
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    capture_rng_state,
+    restore_rng_state,
+)
 from repro.utils.validation import check_probability
 
 logger = logging.getLogger(__name__)
@@ -424,3 +429,59 @@ class FailureInjector:
     def failed_mask(self) -> np.ndarray:
         """Copy of the per-PM failure mask (for failure-aware schedulers)."""
         return self.failed.copy()
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of failure masks, counters and the RNG."""
+        rec = self.record
+        return {
+            "rng": capture_rng_state(self._rng),
+            "failed": self.failed.tolist(),
+            "domain_failed": self.domain_failed.tolist(),
+            "down_since": self._down_since.tolist(),
+            "stranded": sorted(self._stranded),
+            "degraded": sorted(self._degraded),
+            "record": {
+                "failures": rec.failures,
+                "recoveries": rec.recoveries,
+                "evacuations": rec.evacuations,
+                "stranded_vm_intervals": rec.stranded_vm_intervals,
+                "failed_intervals": rec.failed_intervals,
+                "domain_failures": rec.domain_failures,
+                "degraded_evacuations": rec.degraded_evacuations,
+                "restorations": rec.restorations,
+                "degraded_vm_intervals": rec.degraded_vm_intervals,
+                "blast_radii": list(rec.blast_radii),
+                "repair_durations": list(rec.repair_durations),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from a :meth:`capture_state` snapshot."""
+        if len(state["failed"]) != self.dc.n_pms:
+            raise ValueError(
+                f"checkpoint failure mask covers {len(state['failed'])} PMs "
+                f"but datacenter has {self.dc.n_pms}"
+            )
+        self._rng = restore_rng_state(state["rng"])
+        self.failed = np.array(state["failed"], dtype=bool)
+        self.domain_failed = np.array(state["domain_failed"], dtype=bool)
+        self._down_since = np.array(state["down_since"], dtype=np.int64)
+        self._stranded = set(int(v) for v in state["stranded"])
+        self._degraded = set(int(v) for v in state["degraded"])
+        rec = state["record"]
+        self.record = FailureRecord(
+            failures=int(rec["failures"]),
+            recoveries=int(rec["recoveries"]),
+            evacuations=int(rec["evacuations"]),
+            stranded_vm_intervals=int(rec["stranded_vm_intervals"]),
+            failed_intervals=int(rec["failed_intervals"]),
+            domain_failures=int(rec["domain_failures"]),
+            degraded_evacuations=int(rec["degraded_evacuations"]),
+            restorations=int(rec["restorations"]),
+            degraded_vm_intervals=int(rec["degraded_vm_intervals"]),
+            blast_radii=[int(b) for b in rec["blast_radii"]],
+            repair_durations=[int(r) for r in rec["repair_durations"]],
+        )

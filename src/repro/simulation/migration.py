@@ -48,7 +48,12 @@ from repro.telemetry import (
     Telemetry,
     resolve,
 )
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    capture_rng_state,
+    restore_rng_state,
+)
 from repro.utils.validation import check_integer, check_probability
 
 logger = logging.getLogger(__name__)
@@ -376,3 +381,37 @@ class MigrationExecutor:
         self._vm_backoff_until.pop(vm_id, None)
         self._target_strikes.pop(target_pm, None)
         return True
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of counters, backoff/blacklist maps and RNG."""
+        return {
+            "rng": capture_rng_state(self._rng),
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "vm_backoff_until": {str(k): v for k, v
+                                 in self._vm_backoff_until.items()},
+            "vm_consecutive_failures": {
+                str(k): v for k, v in self._vm_consecutive_failures.items()},
+            "target_strikes": {str(k): v for k, v
+                               in self._target_strikes.items()},
+            "blacklist_until": {str(k): v for k, v
+                                in self._blacklist_until.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from a :meth:`capture_state` snapshot."""
+        self._rng = restore_rng_state(state["rng"])
+        self.attempts = int(state["attempts"])
+        self.failures = int(state["failures"])
+        self._vm_backoff_until = {
+            int(k): int(v) for k, v in state["vm_backoff_until"].items()}
+        self._vm_consecutive_failures = {
+            int(k): int(v) for k, v
+            in state["vm_consecutive_failures"].items()}
+        self._target_strikes = {
+            int(k): int(v) for k, v in state["target_strikes"].items()}
+        self._blacklist_until = {
+            int(k): int(v) for k, v in state["blacklist_until"].items()}

@@ -288,6 +288,63 @@ class Monitor:
             overloaded=n_violated,
         )
 
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of every accumulated observation.
+
+        Restoring these counters also restores the monitor's notion of
+        time: ``record_interval`` stamps events with the number of
+        intervals recorded so far, so a resumed run continues the series
+        without gaps or repeats.
+        """
+        return {
+            "pms_used": list(self._pms_used),
+            "migrations_per_interval": list(self._migrations_per_interval),
+            "events": [[e.time, e.vm_id, e.source_pm, e.target_pm]
+                       for e in self._events],
+            "violations": self._violations.tolist(),
+            "presence": self._presence.tolist(),
+            "vm_suffering": (self._vm_suffering.tolist()
+                             if self._vm_suffering is not None else None),
+            "vm_down": (self._vm_down.tolist()
+                        if self._vm_down is not None else None),
+            "vm_degraded": (self._vm_degraded.tolist()
+                            if self._vm_degraded is not None else None),
+            "failed_migrations": self._failed_migrations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite accumulated observations from a snapshot."""
+        if len(state["violations"]) != self._n_pms:
+            raise ValueError(
+                f"checkpoint monitor covers {len(state['violations'])} PMs "
+                f"but monitor was built for {self._n_pms}"
+            )
+        self._pms_used = [int(v) for v in state["pms_used"]]
+        self._migrations_per_interval = [
+            int(v) for v in state["migrations_per_interval"]]
+        self._events = [
+            MigrationEvent(time=int(t), vm_id=int(v), source_pm=int(s),
+                           target_pm=int(d))
+            for t, v, s, d in state["events"]
+        ]
+        self._violations = np.array(state["violations"], dtype=np.int64)
+        self._presence = np.array(state["presence"], dtype=np.int64)
+        for attr, key in (("_vm_suffering", "vm_suffering"),
+                          ("_vm_down", "vm_down"),
+                          ("_vm_degraded", "vm_degraded")):
+            stored = state[key]
+            if (stored is None) != (getattr(self, attr) is None):
+                raise ValueError(
+                    f"checkpoint {key} tracking does not match this monitor "
+                    f"(one tracks per-VM counters, the other does not)"
+                )
+            if stored is not None:
+                setattr(self, attr, np.array(stored, dtype=np.int64))
+        self._failed_migrations = int(state["failed_migrations"])
+
     def finalize(self) -> RunRecord:
         """Produce the run summary."""
         return RunRecord(

@@ -216,14 +216,20 @@ class Scenario:
                 f"tick_mode must be 'vectorized' or 'scalar', got {tick_mode!r}")
         self.tick_mode = tick_mode
 
-    def run(self, n_intervals: int = 100, *, seed: SeedLike = None,
-            on_tick: Any | None = None) -> ScenarioReport:
-        """Place the fleet and simulate ``n_intervals``.
+    def start(self, *, seed: SeedLike = None, on_tick: Any | None = None,
+              _placement: Any | None = None) -> "ScenarioRun":
+        """Build the full simulation stack but advance zero intervals.
 
-        ``on_tick`` (a callable taking the interval index) runs after each
-        interval is fully recorded — the hook live dashboards refresh from.
+        Returns a :class:`ScenarioRun` the caller steps explicitly with
+        :meth:`ScenarioRun.advance` — the incremental entry point the
+        checkpoint layer (:mod:`repro.simulation.checkpoint`) snapshots and
+        resumes.  :meth:`run` remains the one-shot convenience wrapper and
+        produces byte-identical results.
+
+        ``_placement`` (internal) skips the placer and adopts the given
+        :class:`~repro.core.types.Placement` — used on checkpoint restore,
+        where re-running the placer would re-emit its placement events.
         """
-        n_intervals = check_integer(n_intervals, "n_intervals", minimum=1)
         tel = resolve(self.telemetry)
         unsubscribe = None
         if self.observatory is not None and tel is not None:
@@ -232,8 +238,11 @@ class Scenario:
             else:
                 unsubscribe = tel.events.subscribe(self.observatory.observe)
         rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
-        placement = self.placer.place_and_report(self.vms, self.pms,
-                                                 telemetry=tel)
+        if _placement is not None:
+            placement = _placement
+        else:
+            placement = self.placer.place_and_report(self.vms, self.pms,
+                                                     telemetry=tel)
         dc_cls = Datacenter
         if self.tick_mode == "scalar":
             from repro.perf.reference import ScalarReferenceDatacenter
@@ -268,54 +277,132 @@ class Scenario:
         monitor = Monitor(dc.n_pms, n_vms=dc.n_vms, telemetry=tel,
                           snapshot_every=self.snapshot_every)
         engine = SimulationEngine()
-        energy_total = 0.0
-
-        def tick(t: int) -> None:
-            nonlocal energy_total
-            with timed("tick"):
-                dc.step()
-                if injector is not None:
-                    injector.step(t)
-                events = scheduler.resolve_overloads(t)
-                monitor.record_interval(
-                    dc, events,
-                    down_vms=injector.stranded_vms if injector is not None else None,
-                    degraded_vms=injector.degraded_vms if injector is not None else None,
-                    failed_migrations=scheduler.failed_attempts_last_interval,
-                )
-                if self.energy_model is not None:
-                    energy_total += self.energy_model.fleet_power(
-                        dc.pm_loads(), dc.pm_capacities(), dc.pm_used_mask()
-                    ) * self.interval_seconds
-
-        engine.add_hook("tick", tick)
+        run = ScenarioRun(
+            scenario=self, telemetry=tel, datacenter=dc, injector=injector,
+            scheduler=scheduler, monitor=monitor, engine=engine,
+            unsubscribe=unsubscribe,
+        )
+        engine.add_hook("tick", run._tick)
         if on_tick is not None:
             engine.add_hook("observer", on_tick)
-        initial_used = dc.used_pm_count()
-        try:
-            if tel is not None:
-                with tel.profiler:
-                    engine.run(n_intervals)
-            else:
-                engine.run(n_intervals)
-        finally:
-            if unsubscribe is not None:
-                unsubscribe()
-        record = monitor.finalize()
+        return run
 
+    def run(self, n_intervals: int = 100, *, seed: SeedLike = None,
+            on_tick: Any | None = None) -> ScenarioReport:
+        """Place the fleet and simulate ``n_intervals``.
+
+        ``on_tick`` (a callable taking the interval index) runs after each
+        interval is fully recorded — the hook live dashboards refresh from.
+        """
+        n_intervals = check_integer(n_intervals, "n_intervals", minimum=1)
+        run = self.start(seed=seed, on_tick=on_tick)
+        try:
+            run.advance(n_intervals)
+        finally:
+            run.close()
+        return run.finish()
+
+
+class ScenarioRun:
+    """A live, incrementally-steppable simulation built by
+    :meth:`Scenario.start`.
+
+    Owns the wired component stack (datacenter, optional failure injector,
+    scheduler, monitor, engine) and the energy accumulator.  The run
+    advances in explicit steps::
+
+        run = scenario.start(seed=7)
+        run.advance(50)          # first half
+        state = run.capture_state()   # -> JSON-safe snapshot
+        run.advance(50)          # second half
+        run.close()
+        report = run.finish()
+
+    ``capture_state`` / ``restore_state`` round-trip every mutable field —
+    including all three RNG streams — so a restored run continues the
+    exact event/report trajectory of the original (see
+    :mod:`repro.simulation.checkpoint` for the on-disk format).
+    """
+
+    def __init__(self, *, scenario: Scenario, telemetry: Telemetry | None,
+                 datacenter: Datacenter, injector: FailureInjector | None,
+                 scheduler: DynamicScheduler, monitor: Monitor,
+                 engine: SimulationEngine, unsubscribe: Any | None = None):
+        self.scenario = scenario
+        self.telemetry = telemetry
+        self.datacenter = datacenter
+        self.injector = injector
+        self.scheduler = scheduler
+        self.monitor = monitor
+        self.engine = engine
+        self._unsubscribe = unsubscribe
+        self._energy_total = 0.0
+        self._initial_pms_used = datacenter.used_pm_count()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def time(self) -> int:
+        """Intervals completed so far."""
+        return self.engine.time
+
+    def _tick(self, t: int) -> None:
+        """One interval: workload step, failures, scheduling, recording."""
+        scenario = self.scenario
+        dc = self.datacenter
+        injector = self.injector
+        scheduler = self.scheduler
+        with timed("tick"):
+            dc.step()
+            if injector is not None:
+                injector.step(t)
+            events = scheduler.resolve_overloads(t)
+            self.monitor.record_interval(
+                dc, events,
+                down_vms=injector.stranded_vms if injector is not None else None,
+                degraded_vms=injector.degraded_vms if injector is not None else None,
+                failed_migrations=scheduler.failed_attempts_last_interval,
+            )
+            if scenario.energy_model is not None:
+                self._energy_total += scenario.energy_model.fleet_power(
+                    dc.pm_loads(), dc.pm_capacities(), dc.pm_used_mask()
+                ) * scenario.interval_seconds
+
+    def advance(self, n_intervals: int) -> None:
+        """Simulate ``n_intervals`` more intervals (under the profiler)."""
+        n_intervals = check_integer(n_intervals, "n_intervals", minimum=0)
+        if n_intervals == 0:
+            return
+        if self.telemetry is not None:
+            with self.telemetry.profiler:
+                self.engine.run(n_intervals)
+        else:
+            self.engine.run(n_intervals)
+
+    def close(self) -> None:
+        """Detach the observatory subscription (idempotent)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def finish(self) -> ScenarioReport:
+        """Summarize everything recorded so far into a report."""
+        scenario = self.scenario
+        scheduler = self.scheduler
+        injector = self.injector
+        record = self.monitor.finalize()
         cvr = record.cvr_per_pm()
         used_mask = record.presence_counts > 0
         used_cvr = cvr[used_mask]
         return ScenarioReport(
             record=record,
-            initial_pms_used=initial_used,
+            initial_pms_used=self._initial_pms_used,
             final_pms_used=record.final_pms_used,
             total_migrations=record.total_migrations,
             mean_cvr=float(used_cvr.mean()) if used_cvr.size else 0.0,
             max_cvr=float(used_cvr.max()) if used_cvr.size else 0.0,
             fairness=fairness_report(record.vm_suffering_fraction()),
-            energy_joules=(energy_total if self.energy_model is not None
-                           else None),
+            energy_joules=(self._energy_total
+                           if scenario.energy_model is not None else None),
             migration_downtime_seconds=(
                 scheduler.account.total_downtime_seconds
                 if isinstance(scheduler, CostedScheduler) else None
@@ -325,8 +412,40 @@ class Scenario:
                 availability_report(record, injector.record)
                 if injector is not None else None
             ),
-            telemetry=tel,
+            telemetry=self.telemetry,
         )
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of the entire run's mutable state."""
+        return {
+            "time": self.engine.time,
+            "energy_total": self._energy_total,
+            "initial_pms_used": self._initial_pms_used,
+            "datacenter": self.datacenter.capture_state(),
+            "scheduler": self.scheduler.capture_state(),
+            "monitor": self.monitor.capture_state(),
+            "injector": (self.injector.capture_state()
+                         if self.injector is not None else None),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the run's mutable state from a snapshot."""
+        if (state["injector"] is None) != (self.injector is None):
+            raise ValueError(
+                "checkpoint failure-injection configuration does not match "
+                "this scenario (one has an injector, the other does not)"
+            )
+        self.engine.time = int(state["time"])
+        self._energy_total = float(state["energy_total"])
+        self._initial_pms_used = int(state["initial_pms_used"])
+        self.datacenter.restore_state(state["datacenter"])
+        self.scheduler.restore_state(state["scheduler"])
+        self.monitor.restore_state(state["monitor"])
+        if self.injector is not None:
+            self.injector.restore_state(state["injector"])
 
 
 def compare_scenarios(

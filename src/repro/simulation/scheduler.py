@@ -162,6 +162,34 @@ class DynamicScheduler:
                 break
         return events
 
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot: executor state plus the trigger's window.
+
+        A custom trigger without ``capture_state`` is recorded as ``None``
+        and silently skipped on restore; the checkpoint layer flags such
+        runs as non-portable.
+        """
+        trigger = (self.trigger.capture_state()
+                   if hasattr(self.trigger, "capture_state") else None)
+        return {
+            "executor": self.executor.capture_state(),
+            "trigger": trigger,
+            "failed_attempts_last_interval":
+                self.failed_attempts_last_interval,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite mutable state from a :meth:`capture_state` snapshot."""
+        self.executor.restore_state(state["executor"])
+        if state["trigger"] is not None and hasattr(self.trigger,
+                                                    "restore_state"):
+            self.trigger.restore_state(state["trigger"])
+        self.failed_attempts_last_interval = int(
+            state["failed_attempts_last_interval"])
+
 
 @dataclass
 class SimulationResult:

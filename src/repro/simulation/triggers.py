@@ -44,6 +44,13 @@ class OverflowTrigger:
     def should_migrate(self, pm_id: int) -> bool:  # noqa: D102
         return True
 
+    def capture_state(self) -> dict:
+        """Stateless: nothing to snapshot."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Stateless: nothing to restore."""
+
 
 class SlidingWindowCVRTrigger:
     """Migrate only when a PM's windowed violation fraction exceeds rho.
@@ -99,6 +106,26 @@ class SlidingWindowCVRTrigger:
         """True when the windowed CVR strictly exceeds rho."""
         return self.windowed_cvr(pm_id) > self.rho
 
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of the circular violation-flag buffer."""
+        return {
+            "flags": self._flags.tolist(),
+            "cursor": self._cursor,
+            "filled": self._filled,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the window buffer from a snapshot."""
+        flags = np.array(state["flags"], dtype=bool)
+        if flags.shape != (self.n_pms, self.window):
+            raise ValueError(
+                f"checkpoint trigger window has shape {flags.shape} but "
+                f"trigger was built for ({self.n_pms}, {self.window})"
+            )
+        self._flags = flags
+        self._cursor = int(state["cursor"])
+        self._filled = int(state["filled"])
+
 
 class AlertReactiveTrigger:
     """Escalate to act-on-every-overflow while an SLO alert is firing.
@@ -138,3 +165,15 @@ class AlertReactiveTrigger:
                 self.escalations += 1
             return True
         return self.base.should_migrate(pm_id)
+
+    def capture_state(self) -> dict:
+        """Snapshot the escalation count plus the wrapped trigger's state."""
+        base = (self.base.capture_state()
+                if hasattr(self.base, "capture_state") else None)
+        return {"escalations": self.escalations, "base": base}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the escalation count and the wrapped trigger's state."""
+        self.escalations = int(state["escalations"])
+        if state["base"] is not None and hasattr(self.base, "restore_state"):
+            self.base.restore_state(state["base"])

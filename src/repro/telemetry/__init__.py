@@ -35,8 +35,13 @@ from repro.telemetry.events import (
     AlertFired,
     AlertResolved,
     BenchJobFinished,
+    BenchJobInterrupted,
+    BenchJobQuarantined,
+    BenchJobRetried,
     BenchJobStarted,
+    BenchRunStarted,
     CapacityViolation,
+    CheckpointWritten,
     DegradationApplied,
     DriftDetected,
     IntervalSnapshot,
@@ -46,6 +51,7 @@ from repro.telemetry.events import (
     PMCrashed,
     PMRepaired,
     ReconsolidationTriggered,
+    RunResumed,
     ServiceRestored,
     TargetBlacklisted,
     TelemetryEvent,
@@ -87,8 +93,13 @@ __all__ = [
     "AlertFired",
     "AlertResolved",
     "BenchJobFinished",
+    "BenchJobInterrupted",
+    "BenchJobQuarantined",
+    "BenchJobRetried",
     "BenchJobStarted",
+    "BenchRunStarted",
     "CapacityViolation",
+    "CheckpointWritten",
     "DegradationApplied",
     "DriftDetected",
     "IntervalSnapshot",
@@ -98,6 +109,7 @@ __all__ = [
     "PMCrashed",
     "PMRepaired",
     "ReconsolidationTriggered",
+    "RunResumed",
     "ServiceRestored",
     "TargetBlacklisted",
     "TelemetryEvent",

@@ -315,8 +315,50 @@ class DriftDetected(TelemetryEvent):
 
 
 # --------------------------------------------------------------------- #
-# benchmark orchestration (the parallel experiment runner)
+# durable execution (simulation checkpoints)
 # --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class CheckpointWritten(TelemetryEvent):
+    """A full simulation checkpoint was persisted to disk.
+
+    ``time`` is the simulation interval the snapshot was taken at;
+    ``sha256`` is the payload checksum embedded in the file (what
+    :func:`repro.simulation.checkpoint.load_checkpoint` verifies).
+    """
+
+    kind: ClassVar[str] = "checkpoint_written"
+
+    path: str = ""
+    sha256: str = ""
+    size_bytes: int = 0
+
+
+# --------------------------------------------------------------------- #
+# benchmark orchestration (the durable parallel experiment runner)
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class BenchRunStarted(TelemetryEvent):
+    """A bench run opened its journal (the run's durable configuration).
+
+    This is the journal's header record: a resume reads it back to learn
+    which jobs the run covers and how they were seeded.
+    """
+
+    kind: ClassVar[str] = "bench_run_started"
+
+    pattern: str = "*"
+    #: base seed, or -1 when every experiment runs with its published seed
+    base_seed: int = -1
+    jobs: tuple[str, ...] = ()
+    parallel: int = 1
+    chaos: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+
 @register
 @dataclass(frozen=True)
 class BenchJobStarted(TelemetryEvent):
@@ -331,12 +373,18 @@ class BenchJobStarted(TelemetryEvent):
     job: str
     seed: int = 0
     worker_count: int = 1
+    attempt: int = 1
 
 
 @register
 @dataclass(frozen=True)
 class BenchJobFinished(TelemetryEvent):
-    """A benchmark job completed (or failed); ``time`` is completion order."""
+    """A benchmark job completed (or failed); ``time`` is completion order.
+
+    ``seed`` mirrors the per-job seed (-1 when the experiment ran with its
+    published seed) so a resumed run can rebuild the result from the
+    journal alone.
+    """
 
     kind: ClassVar[str] = "bench_job_finished"
 
@@ -345,3 +393,68 @@ class BenchJobFinished(TelemetryEvent):
     ok: bool = True
     error: str = ""
     rows_sha256: str = ""
+    seed: int = -1
+
+
+@register
+@dataclass(frozen=True)
+class BenchJobRetried(TelemetryEvent):
+    """A job's worker died, stalled or timed out; it will run again.
+
+    ``attempt`` is the attempt that just failed; the retry is scheduled
+    after ``backoff_seconds`` of capped exponential backoff.
+    """
+
+    kind: ClassVar[str] = "job_retried"
+
+    job: str
+    attempt: int = 1
+    error: str = ""
+    backoff_seconds: float = 0.0
+
+
+@register
+@dataclass(frozen=True)
+class BenchJobQuarantined(TelemetryEvent):
+    """A job failed ``attempts`` times in a row and was declared poison.
+
+    Quarantined jobs stop consuming workers; a later ``bench --resume``
+    re-executes them from scratch.
+    """
+
+    kind: ClassVar[str] = "job_quarantined"
+
+    job: str
+    attempts: int = 0
+    error: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class BenchJobInterrupted(TelemetryEvent):
+    """A job was in flight when the run was asked to stop (SIGINT/SIGTERM).
+
+    The journal marks it so ``bench --resume`` knows to re-execute it.
+    """
+
+    kind: ClassVar[str] = "job_interrupted"
+
+    job: str
+    attempt: int = 1
+
+
+@register
+@dataclass(frozen=True)
+class RunResumed(TelemetryEvent):
+    """A bench run was resumed from its journal.
+
+    ``completed`` jobs were recovered from the journal and will not re-run;
+    ``remaining`` jobs (incomplete, interrupted or quarantined) will.
+    """
+
+    kind: ClassVar[str] = "run_resumed"
+
+    run_dir: str = ""
+    completed: int = 0
+    remaining: int = 0
+    skipped_journal_lines: int = 0

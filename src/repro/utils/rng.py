@@ -9,11 +9,48 @@ share one generator across components when they want correlated streams.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def _jsonify(obj: Any) -> Any:
+    """Recursively turn ndarrays (e.g. MT19937 keys) into plain lists."""
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    return obj
+
+
+def capture_rng_state(gen: np.random.Generator) -> dict:
+    """JSON-safe snapshot of a generator's bit-generator state.
+
+    The default PCG64 state is plain ints already; MT19937-style states
+    carrying ndarrays are flattened to lists.  Feed the result to
+    :func:`restore_rng_state` to resume the stream bit-for-bit.
+    """
+    return _jsonify(gen.bit_generator.state)
+
+
+def restore_rng_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator whose stream continues exactly where
+    :func:`capture_rng_state` left it.
+
+    The bit-generator class is looked up by the name embedded in the state
+    dict (``PCG64`` for every generator this package creates).
+    """
+    name = state.get("bit_generator", "PCG64")
+    try:
+        bit_gen = getattr(np.random, name)()
+    except AttributeError:
+        raise ValueError(f"unknown bit generator {name!r} in RNG state") from None
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:

@@ -56,11 +56,19 @@ def load_instance(path: str | Path) -> tuple[list[VMSpec], list[PMSpec]]:
             f"unsupported instance format version {version!r}; "
             f"expected {_FORMAT_VERSION}"
         )
-    try:
-        vms = [VMSpec(**entry) for entry in payload["vms"]]
-        pms = [PMSpec(**entry) for entry in payload["pms"]]
-    except (KeyError, TypeError) as exc:
-        raise ValueError(f"malformed instance file {path}: {exc}") from exc
+    vms: list[VMSpec] = []
+    pms: list[PMSpec] = []
+    for section, cls, out in (("vms", VMSpec, vms), ("pms", PMSpec, pms)):
+        if section not in payload:
+            raise ValueError(
+                f"malformed instance file {path}: missing {section!r} list")
+        for i, entry in enumerate(payload[section]):
+            try:
+                out.append(cls(**entry))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed instance file {path}: "
+                    f"{section}[{i}]: {exc}") from exc
     return vms, pms
 
 

@@ -1,0 +1,264 @@
+"""The durable bench runner: retries, quarantine, journal, chaos, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.durability import (
+    BenchRetryPolicy,
+    ChaosConfig,
+    JobJournal,
+    run_durable_bench,
+)
+from repro.perf.bench import run_bench
+from repro.telemetry import BenchJobFinished, Telemetry, tracing
+
+#: retry policy with test-speed backoffs (shape identical to the default)
+FAST_RETRY = BenchRetryPolicy(base_backoff_seconds=0.02,
+                              max_backoff_seconds=0.08, max_attempts=3)
+
+
+def _durable(output_dir, **kwargs):
+    kwargs.setdefault("parallel", 1)
+    kwargs.setdefault("retry", FAST_RETRY)
+    kwargs.setdefault("job_timeout", 120.0)
+    kwargs.setdefault("heartbeat_timeout", 60.0)
+    return run_durable_bench(
+        kwargs.pop("pattern", "table1"), output_dir=output_dir, **kwargs)
+
+
+def _journal_kinds(run_dir):
+    events, skipped = JobJournal.read(run_dir / "journal.jsonl")
+    return [e.kind for e in events], skipped
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        p = BenchRetryPolicy(base_backoff_seconds=1.0,
+                             max_backoff_seconds=8.0, max_attempts=5)
+        assert [p.backoff(n) for n in (1, 2, 3, 4, 5)] == [1, 2, 4, 8, 8]
+
+    def test_mirrors_migration_retry_policy_shape(self):
+        # Same capped-doubling law as the simulator's RetryPolicy — a
+        # deliberate symmetry between sim-time and wall-clock recovery.
+        from repro.simulation.migration import RetryPolicy
+        sim = RetryPolicy(base_backoff_intervals=1, max_backoff_intervals=8)
+        wall = BenchRetryPolicy(base_backoff_seconds=1.0,
+                                max_backoff_seconds=8.0)
+        for n in range(1, 6):
+            assert wall.backoff(n) == sim.backoff(n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            BenchRetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_backoff_seconds"):
+            BenchRetryPolicy(base_backoff_seconds=-1.0)
+        with pytest.raises(ValueError, match="max_backoff_seconds"):
+            BenchRetryPolicy(base_backoff_seconds=2.0,
+                             max_backoff_seconds=1.0)
+
+
+class TestChaosConfig:
+    def test_parse_round_trips(self):
+        c = ChaosConfig.parse("kill-worker:p=0.2,stall:p=0.1", seed=7)
+        assert c.kill_worker_p == 0.2 and c.stall_p == 0.1 and c.seed == 7
+        assert ChaosConfig.parse(c.spec(), seed=7) == c
+
+    def test_timeout_aliases_stall(self):
+        assert ChaosConfig.parse("timeout:p=0.3").stall_p == 0.3
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosConfig.parse("explode:p=0.5")
+        with pytest.raises(ValueError, match="needs a probability"):
+            ChaosConfig.parse("kill-worker")
+        with pytest.raises(ValueError, match="invalid chaos probability"):
+            ChaosConfig.parse("kill-worker:p=lots")
+        with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+            ChaosConfig.parse("kill-worker:p=1.5")
+
+    def test_draws_are_deterministic_and_attempt_sensitive(self):
+        c = ChaosConfig(kill_worker_p=0.5, seed=1)
+        assert (c.draw("fig9", 1, "kill-worker")
+                == c.draw("fig9", 1, "kill-worker"))
+        draws = {c.draw("fig9", a, "kill-worker") for a in range(1, 30)}
+        assert draws == {True, False}  # both outcomes occur across attempts
+
+    def test_zero_probability_never_fires(self):
+        c = ChaosConfig()
+        assert not any(c.draw("x", a, m)
+                       for a in range(1, 10)
+                       for m in ("kill-worker", "stall"))
+
+
+class TestJournal:
+    def test_append_and_tolerant_read(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = JobJournal(path)
+        j.append(BenchJobFinished(time=0, job="a", seconds=1.0, ok=True,
+                                  error="", rows_sha256="ff" * 32, seed=7))
+        j.close()
+        events, skipped = JobJournal.read(path)
+        assert skipped == 0
+        assert events[0].job == "a" and events[0].seed == 7
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = JobJournal(path)
+        j.append(BenchJobFinished(time=0, job="a", seconds=1.0, ok=True,
+                                  error="", rows_sha256="ff" * 32))
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "bench_job_fini')  # crash mid-append
+        events, skipped = JobJournal.read(path)
+        assert len(events) == 1 and skipped == 1
+
+
+class TestDurableRun:
+    def test_clean_run_matches_serial_byte_for_byte(self, tmp_path):
+        run_bench("table1", output_dir=tmp_path / "serial")
+        report = _durable(tmp_path / "durable", parallel=2)
+        assert [r.ok for r in report.results] == [True]
+        assert not report.retried and not report.quarantined
+        assert ((tmp_path / "serial" / "BENCH_results.json").read_bytes()
+                == (tmp_path / "durable" / "BENCH_results.json").read_bytes())
+        assert ((tmp_path / "serial" / "table1.txt").read_bytes()
+                == (tmp_path / "durable" / "table1.txt").read_bytes())
+
+    def test_killed_worker_is_retried_to_success(self, tmp_path):
+        # pick p between the attempt-1 and attempt-2 draws so exactly the
+        # first attempt dies — the deterministic-chaos way to script a fault
+        probe = ChaosConfig(kill_worker_p=1.0, seed=0)
+        u = {a: __import__("zlib").crc32(
+                f"0:table1:{a}:kill-worker".encode()) / 2**32
+             for a in (1, 2)}
+        assert probe.draw("table1", 1, "kill-worker")
+        p = (u[1] + u[2]) / 2 if u[1] < u[2] else u[1] * 0.999
+        chaos = ChaosConfig(kill_worker_p=p, seed=0)
+        if not (chaos.draw("table1", 1, "kill-worker")
+                and not chaos.draw("table1", 2, "kill-worker")):
+            pytest.skip("draw layout does not isolate attempt 1")
+        report = _durable(tmp_path, chaos=chaos)
+        assert report.retried == 1 and not report.quarantined
+        assert report.results[0].ok
+        kinds, _ = _journal_kinds(tmp_path)
+        assert kinds == ["bench_run_started", "bench_job_started",
+                         "job_retried", "bench_job_started",
+                         "bench_job_finished"]
+
+    def test_poison_job_quarantined(self, tmp_path):
+        report = _durable(tmp_path, chaos=ChaosConfig(kill_worker_p=1.0),
+                          retry=BenchRetryPolicy(base_backoff_seconds=0.02,
+                                                 max_backoff_seconds=0.04,
+                                                 max_attempts=2))
+        assert report.quarantined == ["table1"]
+        (result,) = report.results
+        assert not result.ok and "quarantined after 2 attempts" in result.error
+        kinds, _ = _journal_kinds(tmp_path)
+        assert kinds.count("bench_job_started") == 2
+        assert kinds[-1] == "job_quarantined"
+        summary = json.loads((tmp_path / "BENCH_results.json").read_text())
+        assert summary["jobs"]["table1"]["ok"] is False
+
+    def test_recovery_counts_reach_telemetry_metrics(self, tmp_path):
+        tel = Telemetry()
+        with tracing(tel):
+            _durable(tmp_path, chaos=ChaosConfig(kill_worker_p=1.0),
+                     retry=BenchRetryPolicy(base_backoff_seconds=0.02,
+                                            max_backoff_seconds=0.04,
+                                            max_attempts=2))
+        metrics = json.loads(tel.metrics.to_json())
+        assert metrics["bench_jobs_retried_total"]["value"] == 1
+        assert metrics["bench_jobs_quarantined_total"]["value"] == 1
+
+    def test_rejects_bad_arguments(self, tmp_path):
+        with pytest.raises(ValueError, match="parallel"):
+            _durable(tmp_path, parallel=0)
+        with pytest.raises(ValueError, match="no experiment matches"):
+            _durable(tmp_path, pattern="zzz*")
+        with pytest.raises(FileNotFoundError, match="nothing to resume"):
+            run_durable_bench(output_dir=tmp_path / "missing", resume=True)
+
+
+class TestResume:
+    def test_resume_after_quarantine_is_byte_identical_to_clean(
+            self, tmp_path):
+        run_bench("table1", output_dir=tmp_path / "clean")
+        run_dir = tmp_path / "run"
+        crashed = _durable(run_dir, chaos=ChaosConfig(kill_worker_p=1.0),
+                           retry=BenchRetryPolicy(base_backoff_seconds=0.02,
+                                                  max_backoff_seconds=0.04,
+                                                  max_attempts=1))
+        assert crashed.quarantined == ["table1"]
+        resumed = run_durable_bench(output_dir=run_dir, resume=True,
+                                    parallel=1, retry=FAST_RETRY)
+        assert resumed.resumed and resumed.results[0].ok
+        assert ((run_dir / "BENCH_results.json").read_bytes()
+                == (tmp_path / "clean" / "BENCH_results.json").read_bytes())
+        kinds, _ = _journal_kinds(run_dir)
+        assert "run_resumed" in kinds
+
+    def test_resume_restores_verified_jobs_without_rerunning(self, tmp_path):
+        _durable(tmp_path)
+        report = run_durable_bench(output_dir=tmp_path, resume=True)
+        assert report.restored == ["table1"]
+        assert report.results[0].ok
+        events, _ = JobJournal.read(tmp_path / "journal.jsonl")
+        resumed_ev = [e for e in events if e.kind == "run_resumed"][-1]
+        assert resumed_ev.completed == 1 and resumed_ev.remaining == 0
+
+    def test_resume_rechecks_table_hashes(self, tmp_path):
+        _durable(tmp_path)
+        (tmp_path / "table1.txt").write_text("tampered\n")
+        report = run_durable_bench(output_dir=tmp_path, resume=True,
+                                   retry=FAST_RETRY)
+        # hash mismatch demotes the job to pending; it re-runs and heals
+        assert report.restored == []
+        assert report.results[0].ok
+        assert (tmp_path / "table1.txt").read_text() != "tampered\n"
+
+    def test_resume_survives_torn_journal_line(self, tmp_path):
+        _durable(tmp_path)
+        with open(tmp_path / "journal.jsonl", "a") as fh:
+            fh.write('{"kind": "bench_job')  # crash mid-append
+        report = run_durable_bench(output_dir=tmp_path, resume=True)
+        assert report.restored == ["table1"]
+        events, _ = JobJournal.read(tmp_path / "journal.jsonl")
+        resumed_ev = [e for e in events if e.kind == "run_resumed"][-1]
+        assert resumed_ev.skipped_journal_lines == 1
+
+    def test_resume_reuses_recorded_base_seed(self, tmp_path):
+        _durable(tmp_path, base_seed=2013)
+        (tmp_path / "table1.txt").unlink()  # force a re-run
+        report = run_durable_bench(output_dir=tmp_path, resume=True,
+                                   retry=FAST_RETRY)
+        from repro.perf.bench import job_seed
+        assert report.results[0].seed == job_seed(2013, "table1")
+
+
+class TestCLI:
+    def test_bad_chaos_spec_exits_2(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["bench", "--filter", "table1",
+                     "--chaos", "explode:p=0.5"]) == 2
+        assert "unknown chaos mode" in capsys.readouterr().err
+
+    def test_resume_missing_run_dir_exits_2(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        assert main(["bench", "--resume", str(tmp_path / "nope")]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_chaos_run_and_resume_via_cli(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        run_dir = tmp_path / "run"
+        code = main(["bench", "--filter", "table1", "-o", str(run_dir),
+                     "--chaos", "kill-worker:p=1.0", "--max-attempts", "1"])
+        assert code == 1  # quarantined -> failed
+        out = capsys.readouterr()
+        assert "quarantined" in out.out
+        assert main(["bench", "--resume", str(run_dir)]) == 0
+        assert json.loads(
+            (run_dir / "BENCH_results.json").read_text()
+        )["jobs"]["table1"]["ok"] is True

@@ -59,7 +59,7 @@ class TestLRU:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats() == {
-            "hits": 0, "misses": 0, "disk_hits": 0,
+            "hits": 0, "misses": 0, "disk_hits": 0, "corrupt": 0,
             "hit_rate": 0.0, "entries": 0,
         }
 
@@ -101,6 +101,57 @@ class TestDiskStore:
         path.write_text(json.dumps(payload))
         cold = MapCalCache(disk_dir=tmp_path)
         assert cold.get_or_compute(key(5), lambda: 42) == 42
+
+    def test_corrupt_file_is_quarantined(self, tmp_path, caplog):
+        cache = MapCalCache(disk_dir=tmp_path)
+        cache.get_or_compute(key(5), lambda: 11)
+        path = tmp_path / f"mapcal-{key_digest(key(5))}.json"
+        path.write_text("{truncated")
+        cold = MapCalCache(disk_dir=tmp_path)
+        with caplog.at_level("WARNING", logger="repro.perf.cache"):
+            assert cold.get_or_compute(key(5), lambda: 11) == 11
+        assert cold.corrupt == 1
+        assert cold.stats()["corrupt"] == 1
+        # the damaged bytes are preserved for post-mortem...
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_text() == "{truncated"
+        # ...and the recompute rewrote a healthy entry in its place
+        assert json.loads(path.read_text())["value"] == 11
+        assert any("quarantined" in r.message for r in caplog.records)
+
+    def test_corrupt_warnings_are_rate_limited(self, tmp_path, caplog):
+        cache = MapCalCache(disk_dir=tmp_path)
+        paths = []
+        for i in range(5):
+            cache.get_or_compute(key(i), lambda: i)
+            paths.append(tmp_path / f"mapcal-{key_digest(key(i))}.json")
+        for p in paths:
+            p.write_text("garbage")
+        cold = MapCalCache(disk_dir=tmp_path)
+        with caplog.at_level("WARNING", logger="repro.perf.cache"):
+            for i in range(5):
+                cold.get_or_compute(key(i), lambda: i)
+        assert cold.corrupt == 5
+        warned = [r for r in caplog.records if "quarantined" in r.message]
+        assert len(warned) == 1  # one line, not five
+
+    def test_missing_file_is_silent_plain_miss(self, tmp_path, caplog):
+        cache = MapCalCache(disk_dir=tmp_path)
+        with caplog.at_level("WARNING", logger="repro.perf.cache"):
+            assert cache.get_or_compute(key(5), lambda: 11) == 11
+        assert cache.corrupt == 0
+        assert not caplog.records
+
+    def test_corrupt_counter_reaches_metrics(self, tmp_path):
+        cache = MapCalCache(disk_dir=tmp_path)
+        cache.get_or_compute(key(5), lambda: 11)
+        path = tmp_path / f"mapcal-{key_digest(key(5))}.json"
+        path.write_text("nope")
+        tel = Telemetry()
+        with tracing(tel):
+            MapCalCache(disk_dir=tmp_path).get_or_compute(key(5), lambda: 11)
+        metrics = json.loads(tel.metrics.to_json())
+        assert metrics["mapcal_cache_corrupt_total"]["value"] == 1
 
     def test_clear_disk_removes_entries(self, tmp_path):
         cache = MapCalCache(disk_dir=tmp_path)

@@ -85,3 +85,59 @@ class TestConsolidateCommand:
     def test_rho_flag_respected(self, instance_file, capsys):
         assert main(["consolidate", str(instance_file), "--rho", "0.5"]) == 0
         assert "rho=0.5" in capsys.readouterr().out
+
+
+class TestValidationSurface:
+    """Bad inputs exit with code 2 and an actionable message, no traceback."""
+
+    def test_fit_missing_trace_file_exits_2(self, tmp_path, capsys):
+        assert main(["fit", str(tmp_path / "nope.csv")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_consolidate_missing_instance_exits_2(self, tmp_path, capsys):
+        assert main(["consolidate", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_consolidate_bad_vm_params_exit_2_with_location(
+            self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "vms": [{"p_on": 0.1, "p_off": 0.2,
+                     "r_base": 10.0, "r_extra": 20.0},
+                    {"p_on": 1.5, "p_off": 0.2,
+                     "r_base": 10.0, "r_extra": 20.0}],
+            "pms": [{"capacity": 100.0}],
+        }))
+        assert main(["consolidate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "vms[1]" in err          # which entry is broken
+        assert "p_on" in err            # which field
+        assert "(0, 1]" in err          # what would be accepted
+        assert "Traceback" not in err
+
+    def test_consolidate_bad_pm_capacity_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps({
+            "format_version": 1,
+            "vms": [{"p_on": 0.1, "p_off": 0.2,
+                     "r_base": 10.0, "r_extra": 20.0}],
+            "pms": [{"capacity": -5.0}],
+        }))
+        assert main(["consolidate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "pms[0]" in err and "capacity" in err
+
+    def test_vmspec_message_names_the_contract(self):
+        with pytest.raises(ValueError) as exc_info:
+            VMSpec(0.0, 0.5, 10.0, 5.0)
+        msg = str(exc_info.value)
+        assert "invalid VMSpec" in msg and "p_on" in msg and "(0, 1]" in msg
+
+    def test_pmspec_message_names_the_contract(self):
+        from repro.core.types import PMSpec
+        with pytest.raises(ValueError) as exc_info:
+            PMSpec(0.0)
+        msg = str(exc_info.value)
+        assert "invalid PMSpec" in msg and "capacity" in msg

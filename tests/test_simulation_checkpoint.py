@@ -1,0 +1,336 @@
+"""Checkpoint/restore: the split-run == straight-run bit-identity guarantee.
+
+The contract under test (see ``repro/simulation/checkpoint.py``)::
+
+    run(T)  ==  restore(checkpoint(run(T/2))).run(T/2)
+
+with equality on the *entire* final mutable state (all three RNG streams,
+datacenter, scheduler, monitor, injector), the report summary, and the
+telemetry event stream — across randomized configurations and both tick
+modes, including snapshots taken mid-migration and mid-failure-window.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.types import PMSpec, VMSpec
+from repro.placement.base import InsufficientCapacityError
+from repro.simulation import (
+    CheckpointError,
+    Scenario,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.simulation.costmodel import CostedScheduler, MigrationCostModel
+from repro.simulation.energy import EnergyModel
+from repro.simulation.topology import Topology
+from repro.telemetry import RingBufferSink, Telemetry
+
+#: how many random configurations the property sweep covers (per tick mode)
+N_RANDOM_CONFIGS = 20
+
+
+def _PLACER() -> QueuingFFD:
+    # rho = 0.4 under-reserves on purpose: overloads (and therefore
+    # migrations, retries, blacklists) actually occur during the sweep
+    return QueuingFFD(rho=0.4, d=16)
+
+
+def _random_params(config_seed: int) -> dict:
+    """Sample one scenario configuration (deterministic in the seed).
+
+    Capacities are kept tight so overloads, migrations, and failures all
+    actually occur — a checkpoint of an idle run proves nothing.
+    """
+    rng = np.random.default_rng(config_seed)
+    n_vms = int(rng.integers(6, 12))
+    n_pms = max(2, n_vms // 3)
+    vms = [
+        VMSpec(
+            p_on=float(rng.uniform(0.05, 0.5)),
+            p_off=float(rng.uniform(0.1, 0.6)),
+            r_base=float(rng.uniform(5.0, 20.0)),
+            r_extra=float(rng.uniform(20.0, 70.0)),
+        )
+        for _ in range(n_vms)
+    ]
+    # Tight enough for overloads/migrations, loose enough to be placeable:
+    # probe multipliers of sum-of-peaks until QueuingFFD accepts the fleet.
+    sum_peak = sum(v.r_base + v.r_extra for v in vms)
+    pms = None
+    for mult in (0.8, 0.9, 1.0, 1.1, 1.25, 1.4, 1.7, 2.0):
+        candidate = [PMSpec(float(sum_peak / n_pms * mult))] * n_pms
+        try:
+            _PLACER().place(vms, candidate)
+        except InsufficientCapacityError:
+            continue
+        pms = candidate
+        break
+    assert pms is not None, f"config seed {config_seed} never feasible"
+    return {
+        "vms": vms,
+        "pms": pms,
+        "failures": {
+            "failure_probability": float(rng.uniform(0.0, 0.02)),
+            "repair_probability": float(rng.uniform(0.2, 0.6)),
+        },
+        "migration_failure_probability": float(rng.uniform(0.0, 0.2)),
+        "with_cost": bool(rng.integers(0, 2)),
+        "with_energy": bool(rng.integers(0, 2)),
+        "run_seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _make_scenario(params: dict, tick_mode: str,
+                   telemetry: Telemetry | None) -> Scenario:
+    return Scenario(
+        params["vms"], params["pms"],
+        placer=_PLACER(),
+        failures=params["failures"],
+        migration_failure_probability=params[
+            "migration_failure_probability"],
+        cost_model=MigrationCostModel() if params["with_cost"] else None,
+        energy_model=EnergyModel() if params["with_energy"] else None,
+        telemetry=telemetry,
+        tick_mode=tick_mode,
+    )
+
+
+def _event_dicts(sink: RingBufferSink, *, drop_checkpoint: bool = False):
+    return [e.to_dict() for e in sink.events
+            if not (drop_checkpoint and e.kind == "checkpoint_written")]
+
+
+def _straight(params: dict, tick_mode: str, n: int):
+    """Uninterrupted run: (final_state, summary, event_dicts)."""
+    sink = RingBufferSink()
+    scn = _make_scenario(params, tick_mode, Telemetry(sink))
+    run = scn.start(seed=params["run_seed"])
+    run.advance(n)
+    run.close()
+    report = run.finish()
+    report.telemetry = None  # the digest carries wall-clock, not state
+    return run.capture_state(), report.summary(), _event_dicts(sink)
+
+
+def _split(params: dict, tick_mode: str, n: int, split_at: int, tmp_path):
+    """Checkpoint at ``split_at``, restore, finish: same tuple shape."""
+    sink_a = RingBufferSink()
+    scn = _make_scenario(params, tick_mode, Telemetry(sink_a))
+    first = scn.start(seed=params["run_seed"])
+    first.advance(split_at)
+    path = save_checkpoint(first, tmp_path / "split.ckpt")
+    first.close()
+
+    sink_b = RingBufferSink()
+    resumed = restore_checkpoint(path, telemetry=Telemetry(sink_b))
+    assert resumed.time == split_at
+    resumed.advance(n - split_at)
+    resumed.close()
+    report = resumed.finish()
+    report.telemetry = None  # the digest carries wall-clock, not state
+    events = (_event_dicts(sink_a, drop_checkpoint=True)
+              + _event_dicts(sink_b))
+    return resumed.capture_state(), report.summary(), events
+
+
+class TestSplitRunParity:
+    @pytest.mark.parametrize("tick_mode", ["vectorized", "scalar"])
+    @pytest.mark.parametrize("config_seed", range(N_RANDOM_CONFIGS))
+    def test_split_equals_straight(self, config_seed, tick_mode, tmp_path):
+        params = _random_params(config_seed)
+        n = 30
+        straight = _straight(params, tick_mode, n)
+        split = _split(params, tick_mode, n, n // 2, tmp_path)
+        assert split[0] == straight[0]  # full final mutable state
+        assert split[1] == straight[1]  # report summary
+        assert split[2] == straight[2]  # telemetry event stream
+
+    def test_modes_agree_through_a_checkpoint(self, tmp_path):
+        # The two tick modes are bit-identical to each other, and stay so
+        # when one of them round-trips through a checkpoint file.
+        params = _random_params(3)
+        vec = _straight(params, "vectorized", 30)
+        scal = _split(params, "scalar", 30, 15, tmp_path)
+        assert vec[1] == scal[1]
+        assert vec[2] == scal[2]
+
+
+def _advance_until(run, predicate, limit=400):
+    for _ in range(limit):
+        if predicate():
+            return True
+        run.advance(1)
+    return False
+
+
+class TestAwkwardSnapshotPoints:
+    def test_mid_migration_snapshot(self, tmp_path):
+        """Snapshot while migrations are in flight (costed scheduler)."""
+        params = _random_params(7)
+        params["with_cost"] = True
+        # slow transfers keep migrations in flight across intervals
+        sink_a = RingBufferSink()
+        scn = Scenario(
+            params["vms"], params["pms"],
+            placer=_PLACER(),
+            cost_model=MigrationCostModel(bandwidth_units_per_interval=5.0),
+            telemetry=Telemetry(sink_a),
+        )
+        run = scn.start(seed=params["run_seed"])
+        assert isinstance(run.scheduler, CostedScheduler)
+        assert _advance_until(run, lambda: run.scheduler._in_flight), \
+            "scenario never put a migration in flight"
+        split_at = run.time
+        path = save_checkpoint(run, tmp_path / "midmig.ckpt")
+        run.advance(30)
+        run.close()
+        expected = run.capture_state()
+
+        resumed = restore_checkpoint(path)
+        assert resumed.scheduler._in_flight  # restored mid-transfer
+        resumed.advance(30)
+        resumed.close()
+        assert resumed.capture_state() == expected
+        assert resumed.time == split_at + 30
+
+    @pytest.mark.parametrize("tick_mode", ["vectorized", "scalar"])
+    def test_mid_failure_window_snapshot(self, tick_mode, tmp_path):
+        """Snapshot while a PM is down and awaiting repair."""
+        params = _random_params(11)
+        params["failures"] = {"failure_probability": 0.05,
+                              "repair_probability": 0.2}
+        scn = _make_scenario(params, tick_mode, None)
+        run = scn.start(seed=params["run_seed"])
+        assert _advance_until(run, lambda: bool(run.injector.failed.any())), \
+            "injector never crashed a PM"
+        path = save_checkpoint(run, tmp_path / "midfail.ckpt")
+        run.advance(40)
+        run.close()
+        expected = run.capture_state()
+
+        resumed = restore_checkpoint(path)
+        assert resumed.injector.failed.any()  # restored mid-outage
+        resumed.advance(40)
+        resumed.close()
+        assert resumed.capture_state() == expected
+
+    def test_topology_round_trips(self, tmp_path):
+        params = _random_params(5)
+        n_pms = len(params["pms"])
+        topo = Topology([i % 2 for i in range(n_pms)])
+        scn = Scenario(
+            params["vms"], params["pms"],
+            placer=_PLACER(),
+            failures={"failure_probability": 0.02,
+                      "domain_failure_probability": 0.01},
+            topology=topo,
+        )
+        run = scn.start(seed=params["run_seed"])
+        run.advance(10)
+        path = save_checkpoint(run, tmp_path / "topo.ckpt")
+        run.advance(20)
+        expected = run.capture_state()
+        resumed = restore_checkpoint(path)
+        assert resumed.scenario.topology is not None
+        resumed.advance(20)
+        assert resumed.capture_state() == expected
+
+
+class TestFileFormat:
+    def _checkpoint(self, tmp_path):
+        params = _random_params(0)
+        run = _make_scenario(params, "vectorized", None).start(
+            seed=params["run_seed"])
+        run.advance(5)
+        return save_checkpoint(run, tmp_path / "fmt.ckpt")
+
+    def test_future_version_rejected(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a repro-checkpoint"):
+            load_checkpoint(path)
+
+    def test_checksum_detects_tampering(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["state"]["time"] += 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(CheckpointError, match="JSON"):
+            load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_checkpoint_written_event_emitted(self, tmp_path):
+        params = _random_params(1)
+        sink = RingBufferSink()
+        run = _make_scenario(params, "vectorized", Telemetry(sink)).start(
+            seed=params["run_seed"])
+        run.advance(4)
+        path = save_checkpoint(run, tmp_path / "ev.ckpt")
+        written = [e for e in sink.events if e.kind == "checkpoint_written"]
+        assert len(written) == 1
+        assert written[0].time == 4
+        assert written[0].path == str(path)
+        assert written[0].size_bytes == path.stat().st_size
+
+
+class TestNonPortableConfigs:
+    def test_custom_trigger_needs_supplied_scenario(self, tmp_path):
+        from repro.simulation.triggers import OverflowTrigger
+
+        class MyTrigger(OverflowTrigger):
+            pass
+
+        params = _random_params(2)
+
+        def build():
+            return Scenario(params["vms"], params["pms"],
+                            placer=_PLACER(),
+                            trigger=MyTrigger())
+
+        run = build().start(seed=params["run_seed"])
+        run.advance(8)
+        path = save_checkpoint(run, tmp_path / "custom.ckpt")
+        run.advance(12)
+        expected = run.capture_state()
+
+        with pytest.raises(CheckpointError, match="non-serializable"):
+            restore_checkpoint(path)
+
+        # supplying an identically-configured scenario restores it fine
+        resumed = restore_checkpoint(path, scenario=build())
+        resumed.advance(12)
+        assert resumed.capture_state() == expected
+
+    def test_restored_scenario_placer_refuses_to_place(self, tmp_path):
+        params = _random_params(4)
+        run = _make_scenario(params, "vectorized", None).start(
+            seed=params["run_seed"])
+        run.advance(3)
+        path = save_checkpoint(run, tmp_path / "p.ckpt")
+        resumed = restore_checkpoint(path)
+        with pytest.raises(CheckpointError, match="no placer"):
+            resumed.scenario.placer.place(params["vms"], params["pms"])

@@ -10,8 +10,13 @@ from repro.telemetry import (
     AlertFired,
     AlertResolved,
     BenchJobFinished,
+    BenchJobInterrupted,
+    BenchJobQuarantined,
+    BenchJobRetried,
     BenchJobStarted,
+    BenchRunStarted,
     CapacityViolation,
+    CheckpointWritten,
     DegradationApplied,
     DriftDetected,
     EventBus,
@@ -24,6 +29,7 @@ from repro.telemetry import (
     PMRepaired,
     ReconsolidationTriggered,
     RingBufferSink,
+    RunResumed,
     ServiceRestored,
     TargetBlacklisted,
     TelemetryEvent,
@@ -56,9 +62,20 @@ SAMPLES = [
     DriftDetected(time=30, pm_id=2, statistic=12.5, threshold=10.83,
                   observed_on_fraction=0.2, expected_on_fraction=0.1,
                   windows=2),
-    BenchJobStarted(time=0, job="fig9", seed=2013, worker_count=4),
+    BenchRunStarted(time=0, pattern="fig*", base_seed=2013,
+                    jobs=("fig6_cvr", "fig9"), parallel=2,
+                    chaos="kill-worker:p=0.2"),
+    BenchJobStarted(time=0, job="fig9", seed=2013, worker_count=4, attempt=2),
     BenchJobFinished(time=1, job="fig9", seconds=3.5, ok=True, error="",
-                     rows_sha256="ab" * 32),
+                     rows_sha256="ab" * 32, seed=2013),
+    BenchJobRetried(time=1, job="fig9", attempt=2, error="worker died",
+                    backoff_seconds=0.5),
+    BenchJobQuarantined(time=2, job="fig9", attempts=3, error="poison"),
+    BenchJobInterrupted(time=2, job="fig9", attempt=1),
+    RunResumed(time=0, run_dir="out/bench", completed=3, remaining=2,
+               skipped_journal_lines=1),
+    CheckpointWritten(time=50, path="ck.json", sha256="cd" * 32,
+                      size_bytes=4096),
 ]
 
 
