@@ -840,3 +840,12 @@ ABLATIONS["ablation_faultdomains"] = (
     run_faultdomain_ablation,
     "Correlated rack outages: availability vs packing density",
 )
+
+
+# imported late: autopilot_ablation pulls in the full simulation stack
+from repro.experiments.autopilot_ablation import run_autopilot_ablation  # noqa: E402
+
+ABLATIONS["ablation_autopilot"] = (
+    run_autopilot_ablation,
+    "Regime shift: autopilot vs oracle refit vs never adapting",
+)

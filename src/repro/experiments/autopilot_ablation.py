@@ -1,0 +1,208 @@
+"""Regime-shift ablation: autopilot vs oracle knowledge vs never adapting.
+
+The scenario every arm shares: a fleet consolidated by QueuingFFD against
+the paper's nominal law (``p_on = 0.01``), whose true spike rate then
+shifts mid-run (``p_on`` multiplied severalfold).  The placement's CVR
+guarantee evaporates; the three arms differ only in what the control plane
+does about it:
+
+- **never-adapt** — the paper's posture: the one-shot placement stands,
+  only the (deliberately tolerant) reactive trigger fights the violations.
+- **autopilot** — :class:`repro.autopilot.Autopilot` closed loop: detect
+  drift / SLO burn, refit from the live stream, replan under a migration
+  budget, guarded by checkpoint rollback.
+- **oracle** — upper bound: the true post-shift parameters are handed to
+  the scheduler one interval after the shift, same migration budget.
+
+Scored on post-shift windowed CVR, SLO burn (alert-active intervals), and
+migration spend — the acceptance gate asserts the autopilot beats
+never-adapt on CVR and burn while staying within its budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.report import ExperimentResult
+from repro.autopilot import Autopilot, AutopilotConfig
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.types import VMSpec
+from repro.observability import Observatory
+from repro.simulation import Scenario
+from repro.simulation.triggers import SlidingWindowCVRTrigger
+from repro.telemetry import RingBufferSink, Telemetry
+from repro.workload.patterns import generate_pattern_instance
+
+__all__ = [
+    "build_autopilot_scenario",
+    "regime_shift_hook",
+    "run_autopilot_ablation",
+]
+
+#: reconsolidation knobs shared by every arm: on-demand replans only (the
+#: periodic cadence is disabled) and a deliberately slow reactive path, so
+#: the difference between arms is the *planned* adaptation
+RECON_KWARGS = {"period": 10**9, "max_migrations_per_interval": 2}
+
+
+def build_autopilot_scenario(
+    vms: list[VMSpec],
+    pms: list,
+    *,
+    rho: float = 0.01,
+    d: int = 16,
+    telemetry: Telemetry | None = None,
+    observatory: Observatory | None = None,
+    reactive_rho: float = 0.3,
+) -> Scenario:
+    """The shared arm stack: QueuingFFD + tolerant trigger + replan layer.
+
+    The reactive trigger is a :class:`SlidingWindowCVRTrigger` with a
+    *loose* threshold (``reactive_rho``), modelling an operator who
+    tolerates violations rather than thrashing — the regime where planned
+    adaptation (or the lack of it) dominates the outcome.
+    """
+    if observatory is None:
+        observatory = Observatory(rho=rho)
+    if telemetry is None:
+        telemetry = Telemetry(RingBufferSink())
+    return Scenario(
+        vms, pms,
+        placer=QueuingFFD(rho=rho, d=d),
+        trigger=SlidingWindowCVRTrigger(len(pms), rho=reactive_rho,
+                                        window=50),
+        telemetry=telemetry,
+        observatory=observatory,
+        start_stationary=True,
+        reconsolidation={"rho": rho, "d": d, **RECON_KWARGS},
+    )
+
+
+def regime_shift_hook(scenario: Scenario, *, shift_at: int,
+                      p_on: float) -> Callable[[int], None]:
+    """An ``on_tick`` hook drifting the whole fleet's spike rate once."""
+    def on_tick(t: int) -> None:
+        if t == shift_at:
+            scenario.datacenter.set_switch_probabilities(
+                range(scenario.datacenter.n_vms), p_on=p_on)
+    return on_tick
+
+
+def _burn_intervals(obs: Observatory, end_time: int) -> int:
+    """Total alert-active intervals across the SLO timeline."""
+    return sum(
+        (span.resolved_at if span.resolved_at is not None else end_time)
+        - span.fired_at
+        for span in obs.slo.timeline
+    )
+
+
+def _arm_metrics(obs: Observatory, *, end_time: int,
+                 post_window: int) -> dict[str, float]:
+    return {
+        "cvr_post": obs.recorder.cvr(post_window),
+        "burn_intervals": float(_burn_intervals(obs, end_time)),
+    }
+
+
+def run_autopilot_ablation(
+    n_vms: int = 48,
+    n_intervals: int = 420,
+    shift_at: int = 60,
+    shifted_p_on: float = 0.05,
+    rho: float = 0.01,
+    migration_budget: int = 24,
+    seed: int = 230,
+    config: AutopilotConfig | None = None,
+) -> ExperimentResult:
+    """Score the three adaptation postures under one regime shift.
+
+    All arms share the instance, the initial placement, and the workload
+    seed; they diverge only once their control planes act.  The autopilot
+    acceptance assertions (beats never-adapt on CVR and burn, stays within
+    budget) live in ``tests/test_experiments_autopilot.py`` and the CI
+    ``autopilot-smoke`` job, not here — the table is descriptive.
+    """
+    vms, pms = generate_pattern_instance("equal", n_vms, seed=seed)
+    post_window = max(60, n_intervals - shift_at - 120)
+    if config is None:
+        config = AutopilotConfig(migration_budget=migration_budget)
+
+    result = ExperimentResult(
+        experiment_id="ablation_autopilot",
+        description="Closed-loop adaptation under a p_on regime shift",
+        params={"n_vms": n_vms, "n_intervals": n_intervals,
+                "shift_at": shift_at, "shifted_p_on": shifted_p_on,
+                "rho": rho, "migration_budget": config.migration_budget,
+                "seed": seed},
+        headers=["arm", "CVR_post", "burn_intervals", "migrations",
+                 "planned_migrations", "replans", "rollbacks"],
+    )
+
+    arms: dict[str, dict[str, Any]] = {}
+
+    # -- never-adapt -------------------------------------------------- #
+    obs = Observatory(rho=rho)
+    sc = build_autopilot_scenario(vms, pms, rho=rho, observatory=obs)
+    hook = regime_shift_hook(sc, shift_at=shift_at, p_on=shifted_p_on)
+    report = sc.run(n_intervals, seed=seed, on_tick=hook)
+    arms["never-adapt"] = {
+        **_arm_metrics(obs, end_time=n_intervals, post_window=post_window),
+        "migrations": report.total_migrations,
+        "planned": 0, "replans": 0, "rollbacks": 0,
+        "observatory": obs, "report": report,
+    }
+
+    # -- autopilot ---------------------------------------------------- #
+    obs = Observatory(rho=rho)
+    sc = build_autopilot_scenario(vms, pms, rho=rho, observatory=obs)
+    hook = regime_shift_hook(sc, shift_at=shift_at, p_on=shifted_p_on)
+    pilot = Autopilot(sc, config=config)
+    ap = pilot.run(n_intervals, seed=seed, on_tick=hook)
+    arms["autopilot"] = {
+        **_arm_metrics(obs, end_time=n_intervals, post_window=post_window),
+        "migrations": ap.report.total_migrations,
+        "planned": ap.planned_migrations,
+        "replans": ap.replans_started, "rollbacks": ap.replans_rolled_back,
+        "observatory": obs, "report": ap.report, "autopilot": ap,
+    }
+
+    # -- oracle ------------------------------------------------------- #
+    obs = Observatory(rho=rho)
+    sc = build_autopilot_scenario(vms, pms, rho=rho, observatory=obs)
+    hook = regime_shift_hook(sc, shift_at=shift_at, p_on=shifted_p_on)
+    run = sc.start(seed=seed, on_tick=hook)
+    true_specs = [VMSpec(shifted_p_on, v.p_off, v.r_base, v.r_extra)
+                  for v in vms]
+    planned = 0
+    try:
+        run.advance(shift_at + 1)
+        run.scheduler.request_replan(vms=true_specs,
+                                     max_moves=config.migration_budget)
+        run.datacenter.set_assumed_law(
+            [v.p_on for v in true_specs], [v.p_off for v in true_specs])
+        obs.drift.reset_evidence()
+        run.advance(n_intervals - run.time)
+        planned = run.scheduler.planned_migrations
+    finally:
+        run.close()
+    report = run.finish()
+    arms["oracle"] = {
+        **_arm_metrics(obs, end_time=n_intervals, post_window=post_window),
+        "migrations": report.total_migrations,
+        "planned": planned, "replans": 1, "rollbacks": 0,
+        "observatory": obs, "report": report,
+    }
+
+    for name in ("never-adapt", "autopilot", "oracle"):
+        a = arms[name]
+        result.add_row(name, a["cvr_post"], a["burn_intervals"],
+                       a["migrations"], a["planned"], a["replans"],
+                       a["rollbacks"])
+    result.notes.append(
+        "CVR_post = windowed CVR over the last "
+        f"{post_window} intervals; burn_intervals = SLO alert-active "
+        "intervals (x0.5 = burn-minutes at the paper's 30 s interval)")
+    #: stashed for tests/CI gating (not part of the rendered table)
+    result.arms = arms  # type: ignore[attr-defined]
+    return result

@@ -367,6 +367,7 @@ def run_durable_bench(
     progress_path: Path | str | None = None,
     on_event: Callable[[TelemetryEvent], None] | None = None,
     install_signal_handlers: bool = False,
+    keep_checkpoints: int | None = None,
 ) -> DurableRunReport:
     """Run the bench suite under the supervised, journaled worker pool.
 
@@ -397,10 +398,20 @@ def run_durable_bench(
         CLI mode: first SIGINT/SIGTERM drains gracefully (workers
         terminated, in-flight jobs journalled ``interrupted``, journal
         flushed), a second force-exits with code 130.
+    keep_checkpoints:
+        Rollback-checkpoint retention depth for any autopilot run inside
+        the suite: exported as ``REPRO_KEEP_CHECKPOINTS`` for the duration
+        of the run (fork workers inherit it), restored afterwards.
     """
     if parallel < 1:
         raise ValueError(f"parallel must be >= 1, got {parallel}")
+    if keep_checkpoints is not None and keep_checkpoints < 1:
+        raise ValueError(
+            f"keep_checkpoints must be >= 1, got {keep_checkpoints}")
     retry = retry if retry is not None else BenchRetryPolicy()
+    prev_keep = os.environ.get("REPRO_KEEP_CHECKPOINTS")
+    if keep_checkpoints is not None:
+        os.environ["REPRO_KEEP_CHECKPOINTS"] = str(keep_checkpoints)
     run_dir = Path(output_dir)
     report = DurableRunReport(results=[], run_dir=run_dir, resumed=resume)
 
@@ -616,6 +627,11 @@ def run_durable_bench(
                                             attempt=entry.attempt))
                 seq += 1
     finally:
+        if keep_checkpoints is not None:
+            if prev_keep is None:
+                os.environ.pop("REPRO_KEEP_CHECKPOINTS", None)
+            else:  # pragma: no cover - nested override
+                os.environ["REPRO_KEEP_CHECKPOINTS"] = prev_keep
         if install_signal_handlers:
             for sig, handler in previous_handlers.items():
                 signal.signal(sig, handler)

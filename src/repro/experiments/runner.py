@@ -172,6 +172,46 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="kill a worker whose heartbeat is older than "
                             "this (durable runner)")
+    bench.add_argument("--keep-checkpoints", type=int, default=None,
+                       metavar="K",
+                       help="rollback-checkpoint retention depth for "
+                            "autopilot jobs (durable runner; exported as "
+                            "REPRO_KEEP_CHECKPOINTS)")
+
+    auto = sub.add_parser(
+        "autopilot",
+        help="closed-loop run: drift-detect -> refit -> guarded replan "
+             "with checkpoint rollback")
+    auto.add_argument("recipe", choices=["regime-shift"],
+                      help="scenario recipe (regime-shift: fleet-wide "
+                           "p_on drift mid-run)")
+    auto.add_argument("-n", "--intervals", type=int, default=420)
+    auto.add_argument("--seed", type=int, default=230)
+    auto.add_argument("--n-vms", type=int, default=48)
+    auto.add_argument("--drift-at", type=int, default=60,
+                      help="interval at which the true p_on shifts")
+    auto.add_argument("--drift-p-on", type=float, default=0.05,
+                      help="post-shift true p_on for every VM")
+    auto.add_argument("--budget", type=int, default=24,
+                      help="migration budget per replan")
+    auto.add_argument("--rho", type=float, default=0.01)
+    auto.add_argument("--never-adapt", action="store_true",
+                      help="run the identical stack with the controller "
+                           "off (the compare baseline)")
+    auto.add_argument("--force-bad-refit", action="store_true",
+                      help="rollback drill: replace the refit with an "
+                           "adversarially wrong one; exit 1 unless the "
+                           "guard rolls back with byte-for-byte parity")
+    auto.add_argument("--checkpoint-dir", type=Path, default=None,
+                      help="persist rollback checkpoints (+ fsync'd "
+                           "index) in this directory")
+    auto.add_argument("--keep-checkpoints", type=int, default=None,
+                      metavar="K",
+                      help="retention depth for --checkpoint-dir "
+                           "(default: REPRO_KEEP_CHECKPOINTS or 3)")
+    auto.add_argument("--jsonl", type=Path, default=None,
+                      help="record the run's event stream here "
+                           "(feed to `repro compare`)")
 
     trace = sub.add_parser(
         "trace",
@@ -233,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "'unchanged'")
     comp.add_argument("--all", action="store_true", dest="show_unchanged",
                       help="also list unchanged metrics")
+    comp.add_argument("--ignore", action="append", default=[],
+                      metavar="METRIC",
+                      help="exclude this metric from the verdict (repeat "
+                           "for several; still rendered, marked 'ig')")
 
     sub.add_parser("claims",
                    help="machine-check the paper's headline claims")
@@ -369,10 +413,15 @@ def _cmd_bench(args) -> int:
                 progress_path=args.progress_jsonl,
                 on_event=printer,
                 install_signal_handlers=True,
+                keep_checkpoints=args.keep_checkpoints,
             )
             results = report.results
             interrupted = report.interrupted
         else:
+            if args.keep_checkpoints is not None:
+                print("note: --keep-checkpoints applies to the durable "
+                      "runner (-j > 1, --chaos or --resume); ignored",
+                      file=sys.stderr)
             output_dir = args.output_dir
             results = run_bench(
                 args.filter,
@@ -408,6 +457,100 @@ def _cmd_bench(args) -> int:
               f"--resume {output_dir}", file=sys.stderr)
         return 130
     return 1 if failed else 0
+
+
+def _cmd_autopilot(args) -> int:
+    """Run the closed-loop controller (or its baseline/drill variants).
+
+    Three modes share one stack (``build_autopilot_scenario``):
+
+    - default: :class:`repro.autopilot.Autopilot` reacting to the regime
+      shift — refit, guarded replan, rollback on regression;
+    - ``--never-adapt``: the identical scenario with the controller off,
+      recorded as the comparison baseline;
+    - ``--force-bad-refit``: the rollback drill — the refit is replaced
+      with an adversarially wrong one on a fleet whose real drift is
+      harmless, so the only way CVR regresses is the bad replan.  Exits
+      1 unless the guard rolled back with byte-for-byte state parity.
+    """
+    from repro.autopilot import Autopilot, AutopilotConfig, adversarial_refit
+    from repro.core.types import PMSpec, VMSpec
+    from repro.experiments.autopilot_ablation import (
+        build_autopilot_scenario,
+        regime_shift_hook,
+    )
+    from repro.observability import Observatory
+    from repro.telemetry import JSONLSink, RingBufferSink, Telemetry
+    from repro.workload.patterns import generate_pattern_instance
+
+    if args.force_bad_refit and args.never_adapt:
+        print("error: --force-bad-refit needs the controller; drop "
+              "--never-adapt", file=sys.stderr)
+        return 2
+
+    if args.force_bad_refit:
+        # generous capacity + a mild true drift: the fleet is healthy
+        # unless the (injected, wrong) refit repacks it badly
+        vms = [VMSpec(0.05, 0.15, 2.0, 8.0) for _ in range(40)]
+        pms = [PMSpec(100.0) for _ in range(10)]
+        drift_at, drift_p_on = 30, 0.12
+        config = AutopilotConfig(min_refit_samples=40, guard_window=20,
+                                 migration_budget=40,
+                                 keep_checkpoints=args.keep_checkpoints)
+        refit_override = adversarial_refit
+    else:
+        vms, pms = generate_pattern_instance("equal", args.n_vms,
+                                             seed=args.seed)
+        drift_at, drift_p_on = args.drift_at, args.drift_p_on
+        config = AutopilotConfig(migration_budget=args.budget,
+                                 keep_checkpoints=args.keep_checkpoints)
+        refit_override = None
+
+    sinks = ([JSONLSink(args.jsonl)] if args.jsonl is not None
+             else [RingBufferSink()])
+    tel = Telemetry(*sinks)
+    obs = Observatory(rho=args.rho)
+    sc = build_autopilot_scenario(vms, pms, rho=args.rho, telemetry=tel,
+                                  observatory=obs)
+    hook = regime_shift_hook(sc, shift_at=drift_at, p_on=drift_p_on)
+    stats = None
+    t0 = time.perf_counter()
+    try:
+        if args.never_adapt:
+            report = sc.run(args.intervals, seed=args.seed, on_tick=hook)
+        else:
+            pilot = Autopilot(sc, config=config,
+                              checkpoint_dir=args.checkpoint_dir,
+                              refit_override=refit_override)
+            stats = pilot.run(args.intervals, seed=args.seed, on_tick=hook)
+            report = stats.report
+    finally:
+        tel.close()
+    elapsed = time.perf_counter() - t0
+
+    mode = ("never-adapt" if args.never_adapt
+            else "rollback drill" if args.force_bad_refit else "autopilot")
+    print(f"[{args.recipe} ({mode}): {len(vms)} VMs / {len(pms)} PMs, "
+          f"{args.intervals} intervals, drift p_on->{drift_p_on} at "
+          f"t={drift_at}, {elapsed:.1f}s]")
+    if stats is not None:
+        print(stats.summary())
+        if stats.checkpoints:
+            print(f"checkpoints retained: "
+                  f"{', '.join(Path(p).name for p in stats.checkpoints)}")
+    print(f"post-shift CVR (windowed): {obs.recorder.cvr():.4f}")
+    print(f"SLO alerts fired: {obs.slo.fired_total}, "
+          f"active at end: {len(obs.slo.active)}")
+    print(f"migrations: {report.total_migrations}")
+    if args.jsonl is not None:
+        print(f"[{tel.events.emitted} events written to {args.jsonl}]")
+    if args.force_bad_refit:
+        ok = stats.replans_rolled_back >= 1 and stats.rollback_parity
+        print(f"drill: rollbacks={stats.replans_rolled_back}, "
+              f"parity={'ok' if stats.rollback_parity else 'BROKEN'} -> "
+              f"{'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -467,7 +610,8 @@ def _cmd_compare(args) -> int:
     from repro.observability.compare import run_compare
 
     return run_compare(args.baseline, args.candidate, rtol=args.rtol,
-                       show_unchanged=args.show_unchanged)
+                       show_unchanged=args.show_unchanged,
+                       ignore=tuple(args.ignore))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -483,6 +627,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_consolidate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "autopilot":
+        return _cmd_autopilot(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "dashboard":

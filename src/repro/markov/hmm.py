@@ -20,18 +20,66 @@ emission mean is defined as ON.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.telemetry.context import resolve
+from repro.telemetry.logfilter import LogRateLimiter
 from repro.utils.validation import check_integer, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.workload.estimation import OnOffFit
 
 _LOG_EPS = 1e-300
+
+logger = logging.getLogger(__name__)
+
+#: relative spread below which a window is treated as degenerate (no
+#: separable ON/OFF structure for the M-step to lock onto)
+_DEGENERATE_REL_STD = 1e-6
+
+#: one WARN per 50 degenerate windows; the rest are counted, not printed
+_degenerate_limiter = LogRateLimiter(window=50)
+_degenerate_seen = 0
+
+
+def _degenerate_fallback(x: np.ndarray, clip: float, reason: str,
+                         return_diagnostics: bool):
+    """Threshold-estimator fallback for windows Baum-Welch cannot fit.
+
+    Emits a rate-limited WARN and bumps ``hmm_degenerate_window_total`` on
+    the ambient telemetry, then delegates to
+    :func:`repro.workload.estimation.fit_onoff` (which handles constant and
+    near-constant traces without NaN risk).
+    """
+    from repro.workload.estimation import fit_onoff  # deferred: import cycle
+
+    global _degenerate_seen
+    _degenerate_seen += 1
+    _degenerate_limiter.warning(
+        logger, "fit_hmm_onoff", reason, _degenerate_seen,
+        "degenerate observation window (%s): falling back to threshold "
+        "estimator", reason,
+    )
+    tel = resolve(None)
+    if tel is not None:
+        tel.metrics.counter(
+            "hmm_degenerate_window_total",
+            "observation windows where Baum-Welch fell back to the "
+            "threshold estimator",
+        ).inc()
+    fit = fit_onoff(x, clip=clip)
+    if return_diagnostics:
+        return fit, HMMFitDiagnostics(
+            n_iterations=0, converged=False,
+            log_likelihood_path=(fit.log_likelihood,),
+        )
+    return fit
 
 
 @dataclass(frozen=True)
@@ -158,17 +206,18 @@ def fit_hmm_onoff(trace: np.ndarray, *, max_iterations: int = 100,
     check_integer(max_iterations, "max_iterations", minimum=1)
     check_positive(tol, "tol")
 
-    # Degenerate input: a (near-)constant trace has one level and no spikes.
-    if float(x.max() - x.min()) < 1e-12:
-        fit = OnOffFit(
-            p_on=clip, p_off=clip, r_base=max(float(x[0]), 0.0), r_extra=0.0,
-            threshold=float(x[0]), on_fraction=0.0, n_transitions=0,
-            log_likelihood=0.0,
-        )
-        if return_diagnostics:
-            return fit, HMMFitDiagnostics(n_iterations=0, converged=True,
-                                          log_likelihood_path=(0.0,))
-        return fit
+    # Degenerate input: a constant trace has one level and no spikes, and a
+    # near-zero-variance window gives the M-step nothing to separate (the
+    # posterior-weighted variances collapse onto the floor and the quartile
+    # initialization is meaningless).  Both are served by the threshold
+    # estimator, which handles single-regime traces exactly.
+    span = float(x.max() - x.min())
+    scale = max(abs(float(x.max())), abs(float(x.min())), 1.0)
+    if span < 1e-12:
+        return _degenerate_fallback(x, clip, "constant", return_diagnostics)
+    if float(x.std()) < _DEGENERATE_REL_STD * scale:
+        return _degenerate_fallback(
+            x, clip, "near-zero variance", return_diagnostics)
 
     # Initialization from the quartiles (robust, deterministic).
     lo, hi = np.percentile(x, [25.0, 75.0])
@@ -188,6 +237,9 @@ def fit_hmm_onoff(trace: np.ndarray, *, max_iterations: int = 100,
             [_log_gaussian(x, means[s], variances[s]) for s in (0, 1)], axis=1
         )
         gamma, xi_sum, ll = _forward_backward(log_emit, A, pi0)
+        if not np.isfinite(ll):  # pragma: no cover - defense in depth
+            return _degenerate_fallback(
+                x, clip, "non-finite likelihood", return_diagnostics)
         if ll_path and abs(ll - ll_path[-1]) <= tol * (abs(ll_path[-1]) + 1.0):
             ll_path.append(ll)
             converged = True

@@ -36,14 +36,21 @@ def _alert_lines(label: str, obs: Observatory) -> list[str]:
 
 
 def render_comparison(baseline: str | Path, candidate: str | Path, *,
-                      rtol: float = 0.05, show_unchanged: bool = False
+                      rtol: float = 0.05, show_unchanged: bool = False,
+                      ignore: tuple[str, ...] = ()
                       ) -> tuple[str, bool]:
-    """Render the diff; returns ``(text, any_regression)``."""
+    """Render the diff; returns ``(text, any_regression)``.
+
+    ``ignore`` names metrics excluded from the verdict (still rendered,
+    marked ``ig``) — e.g. ``migrations_window`` when diffing an
+    adaptation policy that deliberately spends migrations.
+    """
     obs_a = Observatory.from_jsonl(baseline)
     obs_b = Observatory.from_jsonl(candidate)
     a = summarize_observatory(obs_a)
     b = summarize_observatory(obs_b)
     deltas = regression_diff(a, b, rtol=rtol)
+    ignored = set(ignore)
     shown = [d for d in deltas
              if show_unchanged or d.verdict != "unchanged"]
     lines = [f"baseline : {baseline}", f"candidate: {candidate}", ""]
@@ -51,7 +58,8 @@ def render_comparison(baseline: str | Path, candidate: str | Path, *,
         rows = [
             [d.metric, d.baseline, d.candidate, d.delta,
              f"{d.relative:+.1%}" if d.relative not in (float("inf"),)
-             else "new", _MARK[d.verdict]]
+             else "new",
+             "ig" if d.metric in ignored else _MARK[d.verdict]]
             for d in shown
         ]
         lines.append(format_table(
@@ -63,7 +71,8 @@ def render_comparison(baseline: str | Path, candidate: str | Path, *,
     lines.append("")
     lines.extend(_alert_lines("baseline alerts", obs_a))
     lines.extend(_alert_lines("candidate alerts", obs_b))
-    regressed = any(d.verdict == "regression" for d in deltas)
+    regressed = any(d.verdict == "regression" and d.metric not in ignored
+                    for d in deltas)
     lines.append("")
     lines.append("verdict: "
                  + ("REGRESSION" if regressed else "no regressions"))
@@ -72,7 +81,7 @@ def render_comparison(baseline: str | Path, candidate: str | Path, *,
 
 def run_compare(baseline: str | Path, candidate: str | Path, *,
                 rtol: float = 0.05, show_unchanged: bool = False,
-                stream=None) -> int:
+                ignore: tuple[str, ...] = (), stream=None) -> int:
     """CLI driver; exit code 1 on regression."""
     stream = stream if stream is not None else sys.stdout
     for path in (baseline, candidate):
@@ -80,6 +89,7 @@ def run_compare(baseline: str | Path, candidate: str | Path, *,
             print(f"error: no such trace file: {path}", file=stream)
             return 2
     text, regressed = render_comparison(
-        baseline, candidate, rtol=rtol, show_unchanged=show_unchanged)
+        baseline, candidate, rtol=rtol, show_unchanged=show_unchanged,
+        ignore=ignore)
     print(text, file=stream)
     return 1 if regressed else 0

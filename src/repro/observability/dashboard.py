@@ -257,6 +257,41 @@ def render_frame(obs: Observatory, *, title: str = "run observatory") -> str:
         lines.append("model drift: none detected")
     lines.append(_rule())
 
+    # autopilot control loop
+    pilot = obs.autopilot_events
+    if pilot:
+        committed = int(summary.get("replans_committed", 0))
+        rolled = int(summary.get("replans_rolled_back", 0))
+        refits = sum(1 for e in pilot if e.kind == "refit_completed")
+        rejected = sum(1 for e in pilot if e.kind == "refit_rejected")
+        lines.append(
+            f"AUTOPILOT: {refits} refits ({rejected} rejected), "
+            f"{committed} replans committed, {rolled} rolled back")
+        for e in pilot[-4:]:
+            if e.kind == "refit_completed":
+                lines.append(
+                    f"  t={e.time}: refit [{e.cause}] {e.fingerprint} "
+                    f"({e.converged} HMM / {e.fallback} fallback)")
+            elif e.kind == "refit_rejected":
+                lines.append(
+                    f"  t={e.time}: refit {e.fingerprint} rejected "
+                    f"({e.reason})")
+            elif e.kind == "replan_started":
+                lines.append(
+                    f"  t={e.time}: replan [{e.cause}] budget {e.budget}, "
+                    f"baseline CVR {e.baseline_cvr:.4f}, verdict at "
+                    f"t={e.deadline}")
+            elif e.kind == "replan_committed":
+                lines.append(
+                    f"  t={e.time}: COMMIT {e.fingerprint} "
+                    f"CVR {e.baseline_cvr:.4f} -> {e.post_cvr:.4f}")
+            elif e.kind == "replan_rolled_back":
+                lines.append(
+                    f"  t={e.time}: ROLLBACK {e.fingerprint} "
+                    f"CVR {e.baseline_cvr:.4f} -> {e.post_cvr:.4f}, "
+                    f"parity {'ok' if e.parity else 'BROKEN'}")
+        lines.append(_rule())
+
     # worst offenders
     worst = rec.worst_pms(5)
     if worst:

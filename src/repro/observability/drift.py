@@ -117,6 +117,21 @@ class DriftDetector:
         """PMs currently flagged as drifted, ascending."""
         return sorted(p.pm_id for p in self.pms.values() if p.flagged)
 
+    def reset_evidence(self) -> None:
+        """Drop accumulated evidence after the assumed law changed.
+
+        Called by the autopilot when a replan commits: the per-PM
+        accumulators, streaks, and latched flags all measured the *old*
+        assumed law, so carrying them forward would immediately re-flag
+        drift against the refitted one.  Past ``detections`` and per-PM
+        ``history`` are kept — they are an audit trail, not evidence.
+        """
+        for state in self.pms.values():
+            state.reset_window()
+            state.streak = 0
+            state.flagged = False
+        self._ticks = 0
+
     def observe(self, snap: IntervalSnapshot) -> list[DriftDetected]:
         """Accumulate one interval; evaluate at window boundaries."""
         for i, pm_id in enumerate(snap.pm_ids):
@@ -167,7 +182,9 @@ class DriftDetector:
                 fired.append(event)
             state.reset_window()
         if self._emit and fired:
-            tel = self._telemetry if self._telemetry is not None else resolve()
-            for event in fired:
-                tel.events.emit(event)
+            tel = (self._telemetry if self._telemetry is not None
+                   else resolve(None))
+            if tel is not None:
+                for event in fired:
+                    tel.events.emit(event)
         return fired

@@ -37,8 +37,17 @@ from repro.telemetry.events import (
     AlertResolved,
     DriftDetected,
     IntervalSnapshot,
+    RefitCompleted,
+    RefitRejected,
+    ReplanCommitted,
+    ReplanRolledBack,
+    ReplanStarted,
     TelemetryEvent,
 )
+
+#: the autopilot control-loop vocabulary (collected, live and in replay)
+AUTOPILOT_EVENTS = (RefitCompleted, RefitRejected, ReplanStarted,
+                    ReplanCommitted, ReplanRolledBack)
 from repro.telemetry.sinks import read_events_tolerant
 
 __all__ = ["Observatory"]
@@ -83,6 +92,8 @@ class Observatory:
         )
         #: Alert/Drift events found in a replayed stream (empty when live)
         self.recorded_alerts: list[TelemetryEvent] = []
+        #: autopilot refit/replan events, chronological (live and replay)
+        self.autopilot_events: list[TelemetryEvent] = []
         #: malformed JSONL lines skipped by :meth:`from_jsonl`
         self.skipped_lines = 0
         self._live = False
@@ -118,6 +129,9 @@ class Observatory:
                 return
             self.recorded_alerts.append(event)
             return
+        if isinstance(event, AUTOPILOT_EVENTS):
+            self.autopilot_events.append(event)
+            return
         self.recorder.on_event(event)
         if isinstance(event, IntervalSnapshot):
             self.drift.observe(event)
@@ -143,6 +157,12 @@ class Observatory:
         out["alerts_resolved"] = float(self.slo.resolved_total)
         out["drifted_pms"] = float(len(self.drift.flagged_pms))
         out["skipped_lines"] = float(self.skipped_lines)
+        out["replans_committed"] = float(sum(
+            1 for e in self.autopilot_events
+            if isinstance(e, ReplanCommitted)))
+        out["replans_rolled_back"] = float(sum(
+            1 for e in self.autopilot_events
+            if isinstance(e, ReplanRolledBack)))
         return out
 
     # ----------------------------------------------------------------- #

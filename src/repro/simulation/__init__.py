@@ -44,6 +44,8 @@ from repro.simulation.scenario import (
 from repro.simulation.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
+    CheckpointRetention,
+    canonical_state_bytes,
     load_checkpoint,
     restore_checkpoint,
     save_checkpoint,
@@ -68,6 +70,8 @@ __all__ = [
     "compare_scenarios",
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "CheckpointRetention",
+    "canonical_state_bytes",
     "load_checkpoint",
     "restore_checkpoint",
     "save_checkpoint",

@@ -65,6 +65,8 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "CheckpointRetention",
+    "canonical_state_bytes",
     "save_checkpoint",
     "load_checkpoint",
     "restore_checkpoint",
@@ -102,6 +104,8 @@ def _scenario_config(scenario: Scenario) -> tuple[dict, list[str]]:
         "snapshot_every": scenario.snapshot_every,
         "topology": (scenario.topology.domain_of.tolist()
                      if scenario.topology is not None else None),
+        "reconsolidation": (dict(scenario.reconsolidation)
+                            if scenario.reconsolidation is not None else None),
     }
 
     fk = scenario.failure_kwargs
@@ -210,6 +214,8 @@ def _build_scenario(config: dict,
         telemetry=telemetry,
         snapshot_every=config["snapshot_every"],
         tick_mode=config["tick_mode"],
+        # .get: checkpoints written before the reconsolidation layer existed
+        reconsolidation=config.get("reconsolidation"),
     )
 
 
@@ -220,6 +226,16 @@ def _canonical(payload: dict) -> bytes:
     """The byte encoding the checksum covers: sorted keys, no whitespace."""
     return json.dumps(payload, sort_keys=True,
                       separators=(",", ":")).encode("utf-8")
+
+
+def canonical_state_bytes(state: dict) -> bytes:
+    """Canonical byte encoding of a ``capture_state`` snapshot.
+
+    Two snapshots are bit-identical exactly when these byte strings are
+    equal — the comparison the autopilot's rollback-parity check and the
+    CI forced-rollback drill are built on.
+    """
+    return _canonical(state)
 
 
 def save_checkpoint(run: ScenarioRun, path: str | os.PathLike) -> Path:
@@ -351,3 +367,83 @@ def restore_checkpoint(path: str | os.PathLike, *,
         raise
     logger.info("checkpoint restored: %s -> interval %d", path, run.time)
     return run
+
+
+# --------------------------------------------------------------------- #
+# retention
+# --------------------------------------------------------------------- #
+class CheckpointRetention:
+    """Bounded rollback-point store: keep the last ``keep`` checkpoints.
+
+    Long-running control loops (the autopilot, the durable bench runner)
+    checkpoint before every replan; without a bound a churning run fills
+    the disk.  This policy names files ``ckpt-<seq>-<label>.json`` under
+    one directory, tracks them in an fsync'd index file (``index.json``,
+    written atomically *before* pruning, so a crash between the two leaves
+    extra files but never a dangling index entry), and unlinks
+    oldest-first beyond ``keep``.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints and the index live (created on first save).
+    keep:
+        How many most-recent checkpoints to retain; older ones are pruned
+        on every save.
+    """
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, directory: str | os.PathLike, *, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self._seq = 0
+        self._entries: list[dict] = []
+        index = self.directory / self.INDEX_NAME
+        if index.exists():
+            data = json.loads(index.read_text())
+            self._entries = list(data.get("checkpoints", []))
+            self._seq = int(data.get("next_seq", len(self._entries)))
+
+    @property
+    def paths(self) -> list[Path]:
+        """Retained checkpoint paths, oldest first."""
+        return [self.directory / e["file"] for e in self._entries]
+
+    def latest(self) -> Path | None:
+        """The most recent retained checkpoint, or None."""
+        paths = self.paths
+        return paths[-1] if paths else None
+
+    def _write_index(self) -> None:
+        index = self.directory / self.INDEX_NAME
+        data = json.dumps(
+            {"next_seq": self._seq, "checkpoints": self._entries},
+            sort_keys=True,
+        ).encode("utf-8")
+        tmp = index.with_name(index.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, index)
+
+    def save(self, run: ScenarioRun, label: str = "rollback") -> Path:
+        """Checkpoint ``run``, update the index, prune beyond ``keep``."""
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in label)
+        name = f"ckpt-{self._seq:06d}-{safe}.json"
+        self._seq += 1
+        path = save_checkpoint(run, self.directory / name)
+        self._entries.append({"file": name, "time": run.time})
+        pruned = self._entries[:-self.keep]
+        self._entries = self._entries[-self.keep:]
+        self._write_index()
+        for entry in pruned:
+            victim = self.directory / entry["file"]
+            try:
+                victim.unlink()
+            except OSError:  # pragma: no cover - already gone / perms
+                logger.warning("could not prune checkpoint %s", victim)
+        return path

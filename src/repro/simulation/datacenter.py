@@ -152,10 +152,10 @@ class Datacenter:
         # (1 + r) / (1 - r), r = 1 - p_on - p_off.  These stay fixed even
         # when set_switch_probabilities() drifts the actual dynamics —
         # that gap is exactly what the drift detector measures.
-        q = self._p_on / (self._p_on + self._p_off)
-        r = np.clip(1.0 - self._p_on - self._p_off, 0.0, 1.0 - 1e-12)
-        self._q_assumed = q
-        self._var_rate_assumed = q * (1.0 - q) * (1.0 + r) / (1.0 - r)
+        self._assumed_p_on = self._p_on.copy()
+        self._assumed_p_off = self._p_off.copy()
+        self._recompute_assumed()
+        q = self._q_assumed
         self._on = np.zeros(len(vms), dtype=bool)
         self._throttled = np.zeros(len(vms), dtype=bool)
         self.vms = [VMRuntime(spec=v) for v in vms]
@@ -163,6 +163,15 @@ class Datacenter:
             runtime._bind(self, i)
         if start_stationary and len(vms):
             self._on = self._rng.random(len(vms)) < q
+
+    def _recompute_assumed(self) -> None:
+        """Refresh ``_q_assumed``/``_var_rate_assumed`` from the assumed
+        switch probabilities (see the inflation note in ``__init__``)."""
+        p_on, p_off = self._assumed_p_on, self._assumed_p_off
+        q = p_on / (p_on + p_off)
+        r = np.clip(1.0 - p_on - p_off, 0.0, 1.0 - 1e-12)
+        self._q_assumed = q
+        self._var_rate_assumed = q * (1.0 - q) * (1.0 + r) / (1.0 - r)
 
     # ------------------------------------------------------------------ #
     # dynamics
@@ -302,6 +311,30 @@ class Datacenter:
                 raise ValueError(f"p_off must be in (0, 1], got {p_off}")
             self._p_off[ids] = p_off
 
+    def set_assumed_law(self, p_on: Sequence[float],
+                        p_off: Sequence[float]) -> None:
+        """Replace the fleet's *assumed* ON-OFF law (autopilot refit commit).
+
+        The dual of :meth:`set_switch_probabilities`: the actual simulated
+        dynamics are untouched, but the null hypothesis the drift detector
+        tests against — and the expectations reported through
+        :meth:`assumed_on_probability` / :meth:`assumed_on_variance_rate` —
+        are recomputed from the refitted per-VM ``(p_on, p_off)``.
+        """
+        on = np.asarray(list(p_on), dtype=float)
+        off = np.asarray(list(p_off), dtype=float)
+        if on.shape != (self.n_vms,) or off.shape != (self.n_vms,):
+            raise ValueError(
+                f"assumed law needs {self.n_vms} (p_on, p_off) pairs, got "
+                f"shapes {on.shape} and {off.shape}"
+            )
+        for name, arr in (("p_on", on), ("p_off", off)):
+            if not np.all((arr > 0.0) & (arr <= 1.0)):
+                raise ValueError(f"assumed {name} must be in (0, 1]")
+        self._assumed_p_on = on
+        self._assumed_p_off = off
+        self._recompute_assumed()
+
     def set_throttle(self, vm_id: int, throttled: bool) -> None:
         """Mark VM ``vm_id`` as degraded (served at ``R_b``) or restored."""
         if not 0 <= vm_id < self.n_vms:
@@ -323,8 +356,9 @@ class Datacenter:
 
         Covers the RNG stream, the ON/OFF and throttle masks, the *actual*
         switch probabilities (which :meth:`set_switch_probabilities` may
-        have drifted away from the specs), and the placement.  The frozen
-        spec-derived arrays (``_q_assumed``, caps, base/extra demands) are
+        have drifted away from the specs), the *assumed* law (which
+        :meth:`set_assumed_law` may have refitted), and the placement.  The
+        remaining spec-derived arrays (caps, base/extra demands) are
         reconstructed from the specs and need no snapshot.
         """
         return {
@@ -333,6 +367,8 @@ class Datacenter:
             "throttled": self._throttled.tolist(),
             "p_on": self._p_on.tolist(),
             "p_off": self._p_off.tolist(),
+            "assumed_p_on": self._assumed_p_on.tolist(),
+            "assumed_p_off": self._assumed_p_off.tolist(),
             "assignment": self.placement.assignment.tolist(),
         }
 
@@ -349,6 +385,15 @@ class Datacenter:
         self._throttled = np.array(state["throttled"], dtype=bool)
         self._p_on = np.array(state["p_on"], dtype=float)
         self._p_off = np.array(state["p_off"], dtype=float)
+        # Older checkpoints predate the refittable assumed law: fall back to
+        # the construction-time default (the specs).
+        self._assumed_p_on = np.array(
+            state.get("assumed_p_on", [v.spec.p_on for v in self.vms]),
+            dtype=float)
+        self._assumed_p_off = np.array(
+            state.get("assumed_p_off", [v.spec.p_off for v in self.vms]),
+            dtype=float)
+        self._recompute_assumed()
         self.placement = Placement(
             self.n_vms, self.n_pms,
             np.array(state["assignment"], dtype=np.int64),

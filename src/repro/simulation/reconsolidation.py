@@ -1,4 +1,4 @@
-"""Periodic re-consolidation at runtime.
+"""Periodic and on-demand re-consolidation at runtime.
 
 The paper consolidates once and then reacts with migrations.  A natural
 operational extension is to *re-run* the consolidation every ``period``
@@ -10,6 +10,13 @@ squeezed back out, at the price of a burst of planned migrations.
 fleet and executes the moves whose source and target differ.  The
 ``max_planned_moves`` knob caps each burst so planned churn stays bounded
 (moves are executed in decreasing demand-relief order).
+
+Besides the periodic cadence, a replan can be *requested* for the next
+interval via :meth:`ReconsolidationScheduler.request_replan`, optionally
+with refitted planning specs and a one-shot move budget — the hook the
+autopilot (:mod:`repro.autopilot`) uses to trigger incremental
+reconsolidation after a refit.  Requests are part of the captured state, so
+a checkpoint taken between request and execution replays identically.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Sequence
 
 from repro.core.queuing_ffd import QueuingFFD
 from repro.core.types import VMSpec
+from repro.placement.base import InsufficientCapacityError
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.migration import MigrationEvent, MigrationPolicy
 from repro.simulation.scheduler import DynamicScheduler
@@ -27,7 +35,7 @@ from repro.utils.validation import check_integer
 
 
 class ReconsolidationScheduler(DynamicScheduler):
-    """Reactive scheduler plus periodic global re-consolidation.
+    """Reactive scheduler plus periodic/on-demand global re-consolidation.
 
     Parameters
     ----------
@@ -40,40 +48,83 @@ class ReconsolidationScheduler(DynamicScheduler):
         Re-plan every this many intervals (first re-plan at ``t = period``).
     max_planned_moves:
         Per-re-plan cap on executed moves.
-    policy, max_migrations_per_interval:
-        Passed through to the reactive layer.
+    policy, **scheduler_kwargs:
+        Passed through to the reactive layer (trigger, retry policy,
+        migration failure probability, telemetry, ...).
     """
 
     def __init__(self, dc: Datacenter, *, placer: QueuingFFD | None = None,
                  period: int = 50, max_planned_moves: int = 10**9,
                  policy: MigrationPolicy | None = None,
-                 max_migrations_per_interval: int = 1000):
-        super().__init__(dc, policy,
-                         max_migrations_per_interval=max_migrations_per_interval)
+                 **scheduler_kwargs):
+        super().__init__(dc, policy, **scheduler_kwargs)
         self.placer = placer if placer is not None else QueuingFFD()
         self.period = check_integer(period, "period", minimum=1)
         self.max_planned_moves = check_integer(
             max_planned_moves, "max_planned_moves", minimum=0
         )
         self.planned_migrations = 0
+        #: pending on-demand replan ({"vms": ..., "max_moves": ...}) or None
+        self._pending_request: dict | None = None
 
-    def _replan(self, time: int) -> list[MigrationEvent]:
-        vms: Sequence[VMSpec] = [v.spec for v in self.dc.vms]
+    def request_replan(self, *, vms: Sequence[VMSpec] | None = None,
+                       max_moves: int | None = None) -> None:
+        """Schedule a one-shot replan for the next interval.
+
+        ``vms``, when given, are the *planning* specs (e.g. a refitted
+        fleet) — the datacenter's actual specs are untouched.  ``max_moves``
+        overrides ``max_planned_moves`` for this replan only (the
+        autopilot's migration budget).  A second request before the first
+        executes replaces it.
+        """
+        if vms is not None and len(vms) != self.dc.n_vms:
+            raise ValueError(
+                f"replan request has {len(vms)} planning specs but the "
+                f"fleet has {self.dc.n_vms} VMs"
+            )
+        if max_moves is not None:
+            check_integer(max_moves, "max_moves", minimum=0)
+        self._pending_request = {
+            "vms": (None if vms is None else
+                    [[v.p_on, v.p_off, v.r_base, v.r_extra] for v in vms]),
+            "max_moves": max_moves,
+        }
+
+    @property
+    def has_pending_replan(self) -> bool:
+        """Whether an on-demand replan is queued for the next interval."""
+        return self._pending_request is not None
+
+    def replan_now(self, time: int, *,
+                   vms: Sequence[VMSpec] | None = None,
+                   max_moves: int | None = None) -> list[MigrationEvent]:
+        """Re-place the fleet and execute the placement diff immediately.
+
+        An infeasible plan (the placer cannot fit the planning specs) is a
+        zero-move replan, not an error: the incumbent placement stands.
+        """
+        planning: Sequence[VMSpec] = (
+            list(vms) if vms is not None else [v.spec for v in self.dc.vms]
+        )
         pms = [p.spec for p in self.dc.pms]
+        cap = self.max_planned_moves if max_moves is None else max_moves
         with timed("reconsolidation.replan"):
-            target = self.placer.place(vms, pms)
-        moves = [
+            try:
+                target = self.placer.place(planning, pms)
+            except InsufficientCapacityError:
+                target = None
+        moves = [] if target is None else [
             (vm_id, int(target.assignment[vm_id]))
-            for vm_id in range(len(vms))
+            for vm_id in range(len(planning))
             if target.assignment[vm_id] != self.dc.placement.assignment[vm_id]
         ]
         # Execute biggest base-demand movers first — they relieve the most
         # committed capacity if the burst is capped.
-        moves.sort(key=lambda m: -vms[m[0]].r_base)
+        moves.sort(key=lambda m: -planning[m[0]].r_base)
         events = []
         tel = self.telemetry
         traced = tel is not None and tel.events.enabled
-        for vm_id, target_pm in moves[: self.max_planned_moves]:
+        for vm_id, target_pm in moves[:cap]:
             src = self.dc.migrate(vm_id, target_pm)
             events.append(MigrationEvent(time=time, vm_id=vm_id,
                                          source_pm=src, target_pm=target_pm))
@@ -81,20 +132,50 @@ class ReconsolidationScheduler(DynamicScheduler):
                 tel.emit(MigrationCompleted(time=time, vm_id=vm_id,
                                             source_pm=src, target_pm=target_pm))
         self.planned_migrations += len(events)
-        if tel is not None and tel.events.enabled:
+        if traced:
             tel.emit(ReconsolidationTriggered(time=time,
                                               planned_moves=len(moves),
                                               executed_moves=len(events)))
         return events
 
+    def _consume_request(self, time: int) -> list[MigrationEvent]:
+        request, self._pending_request = self._pending_request, None
+        vms = request["vms"]
+        specs = None if vms is None else [VMSpec(*row) for row in vms]
+        return self.replan_now(time, vms=specs,
+                               max_moves=request["max_moves"])
+
     def resolve_overloads(self, time: int) -> list[MigrationEvent]:
-        """Reactive resolution, plus a global re-plan on period boundaries."""
+        """Reactive resolution, plus global re-plans.
+
+        An on-demand request takes precedence over (and replaces) a
+        periodic replan landing on the same interval.
+        """
         events: list[MigrationEvent] = []
-        if time > 0 and time % self.period == 0:
-            events.extend(self._replan(time))
+        if self._pending_request is not None:
+            events.extend(self._consume_request(time))
+        elif time > 0 and time % self.period == 0:
+            events.extend(self.replan_now(time))
         events.extend(super().resolve_overloads(time))
         return events
 
     def reactive_migrations(self, total: int) -> int:
         """Split helper: reactive = total - planned."""
         return total - self.planned_migrations
+
+    def capture_state(self) -> dict:
+        """Reactive-layer state plus the replan counters and pending request."""
+        state = super().capture_state()
+        state["planned_migrations"] = self.planned_migrations
+        state["pending_request"] = (
+            None if self._pending_request is None
+            else dict(self._pending_request)
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the reactive layer and the replan bookkeeping."""
+        super().restore_state(state)
+        self.planned_migrations = int(state.get("planned_migrations", 0))
+        pending = state.get("pending_request")
+        self._pending_request = None if pending is None else dict(pending)

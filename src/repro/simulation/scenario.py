@@ -150,7 +150,24 @@ class Scenario:
         (:class:`repro.perf.reference.ScalarReferenceDatacenter`), which
         produces bit-identical reports and exists for verification and
         speedup measurement.
+    reconsolidation:
+        ``True`` or a dict of
+        :class:`~repro.simulation.reconsolidation.ReconsolidationScheduler`
+        knobs (``period``, ``max_planned_moves``,
+        ``max_migrations_per_interval``, plus ``rho``/``d`` for the replan
+        placer) to schedule with periodic/on-demand global replans instead
+        of the plain reactive scheduler.  Not combinable with
+        ``cost_model``.
     """
+
+    #: reconsolidation-dict defaults (also its JSON-checkpoint schema)
+    RECONSOLIDATION_DEFAULTS = {
+        "period": 50,
+        "max_planned_moves": 10**9,
+        "max_migrations_per_interval": 1000,
+        "rho": 0.01,
+        "d": 16,
+    }
 
     def __init__(
         self,
@@ -172,6 +189,7 @@ class Scenario:
         snapshot_every: int | None = None,
         observatory: Any | None = None,
         tick_mode: str = "vectorized",
+        reconsolidation: bool | dict[str, Any] | None = None,
     ):
         if not vms or not pms:
             raise ValueError("need at least one VM and one PM")
@@ -215,6 +233,26 @@ class Scenario:
             raise ValueError(
                 f"tick_mode must be 'vectorized' or 'scalar', got {tick_mode!r}")
         self.tick_mode = tick_mode
+        self.reconsolidation: dict[str, Any] | None
+        if reconsolidation is True:
+            self.reconsolidation = dict(self.RECONSOLIDATION_DEFAULTS)
+        elif reconsolidation:
+            unknown = set(reconsolidation) - set(self.RECONSOLIDATION_DEFAULTS)
+            if unknown:
+                raise ValueError(
+                    f"unknown reconsolidation option(s): {sorted(unknown)}; "
+                    f"known: {sorted(self.RECONSOLIDATION_DEFAULTS)}"
+                )
+            self.reconsolidation = {
+                **self.RECONSOLIDATION_DEFAULTS, **dict(reconsolidation)
+            }
+        else:
+            self.reconsolidation = None
+        if self.reconsolidation is not None and self.cost_model is not None:
+            raise ValueError(
+                "reconsolidation and cost_model cannot be combined "
+                "(CostedScheduler has no replan layer)"
+            )
 
     def start(self, *, seed: SeedLike = None, on_tick: Any | None = None,
               _placement: Any | None = None) -> "ScenarioRun":
@@ -271,6 +309,23 @@ class Scenario:
             )
             if self.trigger is not None:
                 scheduler.trigger = self.trigger
+        elif self.reconsolidation is not None:
+            from repro.core.queuing_ffd import QueuingFFD
+            from repro.simulation.reconsolidation import (
+                ReconsolidationScheduler,
+            )
+            recon = self.reconsolidation
+            scheduler = ReconsolidationScheduler(
+                dc,
+                placer=QueuingFFD(rho=recon["rho"], d=recon["d"]),
+                period=recon["period"],
+                max_planned_moves=recon["max_planned_moves"],
+                policy=self.policy,
+                trigger=self.trigger,
+                max_migrations_per_interval=recon[
+                    "max_migrations_per_interval"],
+                **scheduler_kwargs,
+            )
         else:
             scheduler = DynamicScheduler(dc, self.policy, trigger=self.trigger,
                                          **scheduler_kwargs)

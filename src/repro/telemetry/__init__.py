@@ -51,6 +51,11 @@ from repro.telemetry.events import (
     PMCrashed,
     PMRepaired,
     ReconsolidationTriggered,
+    RefitCompleted,
+    RefitRejected,
+    ReplanCommitted,
+    ReplanRolledBack,
+    ReplanStarted,
     RunResumed,
     ServiceRestored,
     TargetBlacklisted,
@@ -109,6 +114,11 @@ __all__ = [
     "PMCrashed",
     "PMRepaired",
     "ReconsolidationTriggered",
+    "RefitCompleted",
+    "RefitRejected",
+    "ReplanCommitted",
+    "ReplanRolledBack",
+    "ReplanStarted",
     "RunResumed",
     "ServiceRestored",
     "TargetBlacklisted",

@@ -458,3 +458,87 @@ class RunResumed(TelemetryEvent):
     completed: int = 0
     remaining: int = 0
     skipped_journal_lines: int = 0
+
+
+# --------------------------------------------------------------------- #
+# autopilot control loop
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class RefitCompleted(TelemetryEvent):
+    """The autopilot re-estimated the fleet's ON/OFF chains.
+
+    ``converged`` counts VMs whose Baum-Welch fit converged; the rest fell
+    back to the threshold estimator (``fallback``).  ``fingerprint`` is a
+    content hash of the rounded fitted parameters — the key under which a
+    rolled-back refit is blacklisted.
+    """
+
+    kind: ClassVar[str] = "refit_completed"
+
+    n_vms: int = 0
+    converged: int = 0
+    fallback: int = 0
+    fingerprint: str = ""
+    cause: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class RefitRejected(TelemetryEvent):
+    """A refit was discarded before replanning (blacklist or guardrail)."""
+
+    kind: ClassVar[str] = "refit_rejected"
+
+    fingerprint: str = ""
+    reason: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class ReplanStarted(TelemetryEvent):
+    """A guarded replan began: checkpoint taken, migrations requested.
+
+    ``baseline_cvr`` is the windowed CVR at replan time; the guard compares
+    post-replan CVR against it at ``deadline``.
+    """
+
+    kind: ClassVar[str] = "replan_started"
+
+    cause: str = ""
+    fingerprint: str = ""
+    checkpoint: str = ""
+    baseline_cvr: float = 0.0
+    deadline: int = 0
+    budget: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class ReplanCommitted(TelemetryEvent):
+    """The evaluation window passed without regression; replan kept."""
+
+    kind: ClassVar[str] = "replan_committed"
+
+    fingerprint: str = ""
+    baseline_cvr: float = 0.0
+    post_cvr: float = 0.0
+    migrations: int = 0
+
+
+@register
+@dataclass(frozen=True)
+class ReplanRolledBack(TelemetryEvent):
+    """Post-replan CVR regressed past the guard; state restored.
+
+    ``parity`` records whether the restored in-memory state matched the
+    pre-replan checkpoint byte-for-byte (it always should).
+    """
+
+    kind: ClassVar[str] = "replan_rolled_back"
+
+    fingerprint: str = ""
+    baseline_cvr: float = 0.0
+    post_cvr: float = 0.0
+    restored_time: int = 0
+    parity: bool = True

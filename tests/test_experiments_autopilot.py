@@ -1,0 +1,64 @@
+"""Acceptance gate for the autopilot ablation (ISSUE 6).
+
+Under a regime shift, the closed-loop autopilot must beat the never-adapt
+baseline on post-shift CVR *and* SLO burn while staying within its
+migration budget — and the oracle arm bounds it from below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.autopilot_ablation import run_autopilot_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_autopilot_ablation(n_vms=48, n_intervals=420, seed=230)
+
+
+def _arm(result, name):
+    return result.arms[name]
+
+
+def test_registered_in_ablation_registry():
+    assert "ablation_autopilot" in ABLATIONS
+    assert ABLATIONS["ablation_autopilot"][0] is run_autopilot_ablation
+
+
+def test_autopilot_beats_never_adapt_on_cvr(result):
+    assert (_arm(result, "autopilot")["cvr_post"]
+            < _arm(result, "never-adapt")["cvr_post"])
+
+
+def test_autopilot_beats_never_adapt_on_slo_burn(result):
+    assert (_arm(result, "autopilot")["burn_intervals"]
+            < _arm(result, "never-adapt")["burn_intervals"])
+
+
+def test_autopilot_stays_within_migration_budget(result):
+    ap = _arm(result, "autopilot")
+    budget = result.params["migration_budget"]
+    assert ap["replans"] >= 1
+    assert ap["planned"] <= budget * ap["replans"]
+
+
+def test_autopilot_commits_without_rollback_on_true_drift(result):
+    stats = _arm(result, "autopilot")["autopilot"]
+    assert stats.replans_committed >= 1
+    assert stats.rollback_parity is True
+
+
+def test_oracle_bounds_the_autopilot(result):
+    # perfect knowledge can't do worse than the estimated refit (small
+    # slack: both are near-zero post-repack and stochastically close)
+    oracle = _arm(result, "oracle")["cvr_post"]
+    autopilot = _arm(result, "autopilot")["cvr_post"]
+    assert oracle <= autopilot + 0.01
+
+
+def test_table_shape(result):
+    assert [row[0] for row in result.rows] == ["never-adapt", "autopilot",
+                                               "oracle"]
+    assert len(result.headers) == 7

@@ -84,3 +84,37 @@ class TestFitHmm:
         trace, states = noisy_trace(vm, 40_000, seed=5, noise=1.0)
         fit = fit_hmm_onoff(trace)
         assert fit.on_fraction == pytest.approx(float(states.mean()), abs=0.02)
+
+
+class TestDegenerateWindowGuard:
+    def test_near_constant_trace_falls_back_without_nan(self):
+        trace = np.full(200, 5.0)
+        trace[0] = 5.0 + 1e-9  # non-zero but vanishing variance
+        fit, diag = fit_hmm_onoff(trace, return_diagnostics=True)
+        assert not diag.converged
+        assert diag.n_iterations == 0
+        assert np.isfinite(fit.p_on) and np.isfinite(fit.p_off)
+        assert fit.r_base == pytest.approx(5.0, abs=0.1)
+        fit.to_vmspec()
+
+    def test_constant_trace_diagnostics_mark_fallback(self):
+        fit, diag = fit_hmm_onoff(np.full(300, 2.0), return_diagnostics=True)
+        assert not diag.converged
+        assert len(diag.log_likelihood_path) == 1
+        assert fit.r_extra == pytest.approx(0.0, abs=0.1)
+
+    def test_degenerate_counter_increments(self):
+        from repro.telemetry import Telemetry, RingBufferSink, tracing
+
+        tel = Telemetry(RingBufferSink())
+        with tracing(tel):
+            fit_hmm_onoff(np.full(120, 1.0))
+            fit_hmm_onoff(np.full(120, 3.0))
+        counter = tel.metrics.get("hmm_degenerate_window_total")
+        assert counter is not None and counter.value >= 2
+
+    def test_scale_invariance_of_guard(self):
+        # a large-magnitude constant trace is just as degenerate
+        fit = fit_hmm_onoff(np.full(150, 1e8))
+        assert np.isfinite(fit.p_on)
+        assert fit.r_base == pytest.approx(1e8, rel=1e-3)

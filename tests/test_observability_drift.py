@@ -113,3 +113,24 @@ class TestDriftCatches:
                        {"consecutive": 0}, {"min_samples": 0}):
             with pytest.raises(ValueError):
                 DriftDetector(**kwargs)
+
+
+class TestResetEvidence:
+    def test_reset_clears_windows_streaks_and_flags(self):
+        det = DriftDetector(window=20, consecutive=2, min_samples=5)
+        rng = np.random.default_rng(11)
+        # drifted traffic: evidence accumulates and eventually flags
+        counts = markov_on_counts(64, 200, 0.06, P_OFF, rng)
+        feed(det, counts, n_vms=64)
+        assert det.flagged_pms
+        n_detections = len(det.detections)
+        det.reset_evidence()
+        assert det.flagged_pms == []
+        for state in det.pms.values():
+            assert state.streak == 0 and not state.flagged
+        # the audit trail survives the reset
+        assert len(det.detections) == n_detections
+        # and a stationary continuation does not re-flag from stale counts
+        calm = markov_on_counts(64, 200, P_ON, P_OFF, rng)
+        fired = feed(det, calm, n_vms=64, start=200)
+        assert fired == []

@@ -28,6 +28,11 @@ from repro.telemetry import (
     PMCrashed,
     PMRepaired,
     ReconsolidationTriggered,
+    RefitCompleted,
+    RefitRejected,
+    ReplanCommitted,
+    ReplanRolledBack,
+    ReplanStarted,
     RingBufferSink,
     RunResumed,
     ServiceRestored,
@@ -76,6 +81,18 @@ SAMPLES = [
                skipped_journal_lines=1),
     CheckpointWritten(time=50, path="ck.json", sha256="cd" * 32,
                       size_bytes=4096),
+    RefitCompleted(time=90, n_vms=48, converged=40, fallback=8,
+                   fingerprint="ab12cd34ef56", cause="drift"),
+    RefitRejected(time=95, fingerprint="ab12cd34ef56",
+                  reason="blacklisted"),
+    ReplanStarted(time=92, cause="slo_burn", fingerprint="ab12cd34ef56",
+                  checkpoint="ckpt-000000-t92.json", baseline_cvr=0.01,
+                  deadline=112, budget=24),
+    ReplanCommitted(time=112, fingerprint="ab12cd34ef56",
+                    baseline_cvr=0.01, post_cvr=0.005, migrations=12),
+    ReplanRolledBack(time=92, fingerprint="ab12cd34ef56",
+                     baseline_cvr=0.01, post_cvr=0.2, restored_time=92,
+                     parity=True),
 ]
 
 
