@@ -1,0 +1,53 @@
+"""The ``perf_scaling`` experiment: a perf probe that rides the bench suite.
+
+``python -m repro perf`` is the interactive scaling harness; this module
+packages a small fixed sweep as a registered experiment so the *durable*
+bench runner (journal, retries, quarantine, ``bench --parallel``) and the
+plain suite (``python -m repro bench``) exercise the perf observatory like
+any other artifact.  The rendered table contains only run-invariant facts
+(structure counts, event counts, span call counts) — wall clock would
+break the byte-identical serial-vs-parallel contract of
+``BENCH_results.json``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+
+#: fixed probe parameters — small enough to keep the suite fast
+SWEEP_SIZES = (20, 40)
+INTERVALS = 10
+SEED = 2013
+
+
+def run_perf_scaling() -> ExperimentResult:
+    """Run the fixed probe sweep; tabulate its deterministic facts."""
+    from repro.observability.perf import run_perf_sweep
+
+    sweep = run_perf_sweep(sweep=SWEEP_SIZES, intervals=INTERVALS,
+                           repeats=1, seed=SEED, mode="vector",
+                           trace_memory=False)
+    result = ExperimentResult(
+        experiment_id="perf_scaling",
+        description="perf observatory probe: deterministic scaling facts",
+        params={"sweep": list(SWEEP_SIZES), "intervals": INTERVALS,
+                "seed": SEED, "mode": "vector"},
+        headers=["n_vms", "n_pms", "vm_intervals", "events", "migrations",
+                 "ticks", "span_names"],
+    )
+    for n, point in sorted(sweep.points.items()):
+        result.add_row(
+            point.n_vms, point.n_pms, point.vm_intervals,
+            point.events_emitted, point.migrations,
+            point.span_calls.get("tick", 0), len(point.span_calls),
+        )
+    checks = []
+    for n, point in sorted(sweep.points.items()):
+        phase_sum = sum(point.report.phase_seconds.values())
+        total = point.report.tick_seconds
+        ok = total == 0 or abs(phase_sum - total) <= 0.05 * total
+        checks.append(ok)
+    result.notes.append(
+        "phase attribution sums to tick total at every size: "
+        + ("PASS" if all(checks) else "FAIL"))
+    return result

@@ -18,7 +18,10 @@ operator questions the paper's consolidation story raises in production:
 - :mod:`repro.observability.dashboard` — terminal panels + HTML export
   (``python -m repro dashboard``);
 - :mod:`repro.observability.compare` — run-to-run regression diff
-  (``python -m repro compare``).
+  (``python -m repro compare``);
+- :mod:`repro.observability.perf` — the performance observatory: phase
+  attribution of the span tree, scaling probes (``python -m repro perf``),
+  Chrome-trace export and committed perf budgets for CI gating.
 """
 
 from repro.observability.dashboard import (
@@ -29,6 +32,16 @@ from repro.observability.dashboard import (
 )
 from repro.observability.drift import DriftDetector, PMDriftState
 from repro.observability.observatory import Observatory
+from repro.observability.perf import (
+    MemoryProbe,
+    PerfBudget,
+    PerfSnapshot,
+    PhaseAttributor,
+    PhaseReport,
+    chrome_trace_to_spans,
+    run_perf_sweep,
+    spans_to_chrome_trace,
+)
 from repro.observability.recorder import PMState, TimeSeriesRecorder
 from repro.observability.series import RollingWindow, TieredSeries
 from repro.observability.slo import (
@@ -56,6 +69,14 @@ __all__ = [
     "DriftDetector",
     "PMDriftState",
     "Observatory",
+    "PhaseAttributor",
+    "PhaseReport",
+    "PerfBudget",
+    "PerfSnapshot",
+    "MemoryProbe",
+    "run_perf_sweep",
+    "spans_to_chrome_trace",
+    "chrome_trace_to_spans",
     "build_scenario",
     "render_frame",
     "render_html",

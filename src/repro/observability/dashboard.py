@@ -22,10 +22,12 @@ burn (SLO demo); ``--inject-drift`` perturbs ``p_on`` mid-run (drift demo).
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.observability.observatory import Observatory
+from repro.observability.perf import PHASE_ORDER, PerfSnapshot
 from repro.utils.tables import format_table
 from repro.viz.ascii_charts import sanitize_series, sparkline
 
@@ -178,8 +180,35 @@ def _spark_row(label: str, values, fmt: str = ".3f", width: int = 40) -> str:
     return f"{label:<14s} {sparkline(clean)} {format(clean[-1], fmt)}"
 
 
-def render_frame(obs: Observatory, *, title: str = "run observatory") -> str:
-    """Render the observatory's current state as terminal panels."""
+def _perf_lines(perf) -> list[str]:
+    """The PERF panel: phase breakdown bars plus the throughput gauge."""
+    report = perf.report
+    lines = [
+        f"PERF: {perf.vm_intervals_per_second:,.0f} vm-intervals/s   "
+        f"tick mean "
+        f"{report.tick_seconds * 1e3 / max(report.tick_count, 1):.2f} ms "
+        f"({report.tick_count} ticks)"
+    ]
+    fractions = report.phase_fraction
+    for phase in PHASE_ORDER:
+        frac = fractions.get(phase, 0.0)
+        seconds = report.phase_seconds.get(phase, 0.0)
+        if seconds <= 0.0 and frac <= 0.0:
+            continue
+        bar = "█" * max(1, round(frac * 24)) if frac > 0 else ""
+        lines.append(f"  {phase:<16s} {bar:<24s} {frac:6.1%} "
+                     f"{seconds * 1e3:9.1f} ms")
+    return lines
+
+
+def render_frame(obs: Observatory, *, title: str = "run observatory",
+                 perf=None) -> str:
+    """Render the observatory's current state as terminal panels.
+
+    ``perf`` (an optional :class:`~repro.observability.perf.PerfSnapshot`)
+    adds the PERF panel: per-phase share of tick time plus the
+    vm-intervals/s throughput gauge.
+    """
     rec = obs.recorder
     summary = obs.summary()
     lines: list[str] = []
@@ -256,6 +285,11 @@ def render_frame(obs: Observatory, *, title: str = "run observatory") -> str:
     else:
         lines.append("model drift: none detected")
     lines.append(_rule())
+
+    # perf (phase attribution + throughput)
+    if perf is not None and perf.report.tick_count:
+        lines.extend(_perf_lines(perf))
+        lines.append(_rule())
 
     # autopilot control loop
     pilot = obs.autopilot_events
@@ -389,6 +423,15 @@ def run_dashboard(experiment: str, *, n_intervals: int = 240,
     title = f"live: {resolve_experiment(experiment)}"
     live = follow or not once
     is_tty = bool(getattr(stream, "isatty", lambda: False)())
+    n_vms = len(scenario.vms)
+    t0 = time.perf_counter()
+
+    def perf_snapshot() -> PerfSnapshot | None:
+        if tel.profiler.empty:
+            return None
+        return PerfSnapshot.capture(
+            tel.profiler, n_vms=n_vms,
+            elapsed_seconds=time.perf_counter() - t0)
 
     def on_tick(t: int) -> None:
         if inject_drift is not None and t == drift_at:
@@ -398,14 +441,16 @@ def run_dashboard(experiment: str, *, n_intervals: int = 240,
         if live and t % refresh == 0:
             if is_tty:
                 stream.write("\x1b[2J\x1b[H")
-            print(render_frame(obs, title=f"{title} · t={t}"), file=stream)
+            print(render_frame(obs, title=f"{title} · t={t}",
+                               perf=perf_snapshot()), file=stream)
             stream.flush()
 
     try:
         scenario.run(n_intervals, seed=seed, on_tick=on_tick)
     finally:
         tel.close()
-    print(render_frame(obs, title=f"{title} (final)"), file=stream)
+    print(render_frame(obs, title=f"{title} (final)",
+                       perf=perf_snapshot()), file=stream)
     if html is not None:
         Path(html).write_text(render_html(obs, title=title) + "\n")
         print(f"[HTML written to {html}]", file=stream)

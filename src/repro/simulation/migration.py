@@ -47,6 +47,7 @@ from repro.telemetry import (
     TargetBlacklisted,
     Telemetry,
     resolve,
+    timed,
 )
 from repro.utils.rng import (
     SeedLike,
@@ -329,6 +330,10 @@ class MigrationExecutor:
 
     def attempt(self, vm_id: int, target_pm: int, time: int) -> bool:
         """Try to migrate; returns True on success, False on a failed flight."""
+        with timed("migration.attempt"):
+            return self._attempt(vm_id, target_pm, time)
+
+    def _attempt(self, vm_id: int, target_pm: int, time: int) -> bool:
         self.attempts += 1
         tel = self.telemetry
         traced = tel is not None and tel.events.enabled

@@ -407,20 +407,30 @@ class ScenarioRun:
         injector = self.injector
         scheduler = self.scheduler
         with timed("tick"):
-            dc.step()
+            # Each phase gets its own span so the perf attributor can
+            # partition tick time (deeper spans such as datacenter.step or
+            # reconsolidation.replan nest underneath and stay visible).
+            with timed("phase.demand"):
+                dc.step()
             if injector is not None:
-                injector.step(t)
-            events = scheduler.resolve_overloads(t)
-            self.monitor.record_interval(
-                dc, events,
-                down_vms=injector.stranded_vms if injector is not None else None,
-                degraded_vms=injector.degraded_vms if injector is not None else None,
-                failed_migrations=scheduler.failed_attempts_last_interval,
-            )
+                with timed("phase.failures"):
+                    injector.step(t)
+            with timed("phase.scheduler"):
+                events = scheduler.resolve_overloads(t)
+            with timed("phase.monitor"):
+                self.monitor.record_interval(
+                    dc, events,
+                    down_vms=(injector.stranded_vms
+                              if injector is not None else None),
+                    degraded_vms=(injector.degraded_vms
+                                  if injector is not None else None),
+                    failed_migrations=scheduler.failed_attempts_last_interval,
+                )
             if scenario.energy_model is not None:
-                self._energy_total += scenario.energy_model.fleet_power(
-                    dc.pm_loads(), dc.pm_capacities(), dc.pm_used_mask()
-                ) * scenario.interval_seconds
+                with timed("phase.energy"):
+                    self._energy_total += scenario.energy_model.fleet_power(
+                        dc.pm_loads(), dc.pm_capacities(), dc.pm_used_mask()
+                    ) * scenario.interval_seconds
 
     def advance(self, n_intervals: int) -> None:
         """Simulate ``n_intervals`` more intervals (under the profiler)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.profiling import timed
 from repro.telemetry.sinks import NullSink, Sink
 
 
@@ -89,9 +90,13 @@ class EventBus:
         """Deliver one event to every sink."""
         if not self.enabled:
             return
-        self.emitted += 1
-        for sink in self._sinks:
-            sink.emit(event)
+        # The span sits after the enabled check so untraced runs still pay
+        # only the attribute read; under a profiler it prices the observer
+        # effect (event delivery time) for the perf attributor.
+        with timed("telemetry.emit"):
+            self.emitted += 1
+            for sink in self._sinks:
+                sink.emit(event)
 
     def close(self) -> None:
         """Close every sink (flushes JSONL writers)."""

@@ -25,7 +25,7 @@ from repro.telemetry.bus import EventBus
 from repro.telemetry.events import TelemetryEvent
 from repro.telemetry.metrics import Counter, MetricsRegistry
 from repro.telemetry.profiling import Profiler
-from repro.telemetry.sinks import Sink
+from repro.telemetry.sinks import RingBufferSink, Sink
 
 
 class Telemetry:
@@ -41,6 +41,14 @@ class Telemetry:
         self.events = EventBus(sinks)
         self.metrics = MetricsRegistry()
         self.profiler = Profiler()
+        # Ring-sink overflow must surface somewhere queryable: route each
+        # eviction into a counter so a truncated trace is detectable.
+        dropped = self.metrics.counter(
+            "spans_dropped_total",
+            "events evicted from bounded ring-buffer sinks")
+        for sink in self.events.sinks:
+            if isinstance(sink, RingBufferSink) and sink.on_drop is None:
+                sink.on_drop = dropped.inc
 
     def emit(self, event: TelemetryEvent) -> None:
         """Shorthand for ``telemetry.events.emit(event)``."""

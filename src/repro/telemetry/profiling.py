@@ -37,6 +37,7 @@ class Span:
     name: str
     count: int = 0
     total_seconds: float = 0.0
+    errors: int = 0
     children: dict[str, "Span"] = field(default_factory=dict)
 
     def child(self, name: str) -> "Span":
@@ -65,8 +66,22 @@ class Span:
             "name": self.name,
             "count": self.count,
             "total_seconds": self.total_seconds,
+            "errors": self.errors,
             "children": [c.to_dict() for c in self.children.values()],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Inverse of :meth:`to_dict` (used by trace round-tripping)."""
+        span = cls(
+            name=data["name"],
+            count=int(data["count"]),
+            total_seconds=float(data["total_seconds"]),
+            errors=int(data.get("errors", 0)),
+        )
+        for child in data.get("children", ()):
+            span.children[child["name"]] = cls.from_dict(child)
+        return span
 
 
 class Profiler:
@@ -85,6 +100,9 @@ class Profiler:
         start = time.perf_counter()
         try:
             yield node
+        except BaseException:
+            node.errors += 1
+            raise
         finally:
             node.total_seconds += time.perf_counter() - start
             node.count += 1
@@ -181,10 +199,18 @@ class timed:
         self._open = (profiler, span)
         self._start = time.perf_counter()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
         if self._open is None:
             return
         profiler, span = self._open
-        span.total_seconds += time.perf_counter() - self._start
-        span.count += 1
-        profiler._stack.pop()
+        self._open = None  # double-exit safe
+        try:
+            # The span must be recorded even when the body raised: a
+            # failing phase still spent its wall time, and dropping it
+            # would skew the attribution of everything around it.
+            span.total_seconds += time.perf_counter() - self._start
+            span.count += 1
+            if exc_type is not None:
+                span.errors += 1
+        finally:
+            profiler._stack.pop()

@@ -50,14 +50,29 @@ class NullSink:
 
 
 class RingBufferSink:
-    """Keeps the last ``capacity`` events in memory (all of them if None)."""
+    """Keeps the last ``capacity`` events in memory (all of them if None).
 
-    def __init__(self, capacity: int | None = None):
+    When bounded and full, the oldest event is evicted; evictions are
+    counted in :attr:`dropped` and reported through ``on_drop`` (wired by
+    :class:`repro.telemetry.context.Telemetry` to the
+    ``spans_dropped_total`` counter) so overflow is never silent.
+    """
+
+    def __init__(self, capacity: int | None = None, *,
+                 on_drop=None):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self._buffer: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._capacity = capacity
+        self.dropped = 0
+        self.on_drop = on_drop
 
     def emit(self, event: TelemetryEvent) -> None:
+        if (self._capacity is not None
+                and len(self._buffer) == self._capacity):
+            self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(1)
         self._buffer.append(event)
 
     def close(self) -> None:

@@ -164,3 +164,39 @@ class TestEventBus:
         d = e.to_dict()
         assert d["consecutive_failures"] == 2
         assert d["backoff_intervals"] == 4
+
+
+class TestRingOverflowAccounting:
+    def test_eviction_counted_and_reported(self):
+        drops = []
+        sink = RingBufferSink(capacity=3, on_drop=drops.append)
+        for t in range(10):
+            sink.emit(PMCrashed(time=t, pm_id=0))
+        assert sink.dropped == 7
+        assert sum(drops) == 7
+
+    def test_unbounded_sink_never_drops(self):
+        sink = RingBufferSink()
+        for t in range(100):
+            sink.emit(PMCrashed(time=t, pm_id=0))
+        assert sink.dropped == 0
+
+    def test_telemetry_wires_spans_dropped_total(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(RingBufferSink(capacity=2))
+        for t in range(5):
+            tel.emit(PMCrashed(time=t, pm_id=0))
+        counter = tel.metrics.counter("spans_dropped_total")
+        assert counter.value == 3
+        assert "spans_dropped_total" in tel.digest()
+
+    def test_explicit_on_drop_not_overridden(self):
+        from repro.telemetry import Telemetry
+
+        mine = []
+        tel = Telemetry(RingBufferSink(capacity=1, on_drop=mine.append))
+        for t in range(3):
+            tel.emit(PMCrashed(time=t, pm_id=0))
+        assert sum(mine) == 2
+        assert tel.metrics.counter("spans_dropped_total").value == 0

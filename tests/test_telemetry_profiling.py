@@ -91,3 +91,70 @@ class TestActivation:
                     raise RuntimeError("x")
         assert active_profiler() is None
         assert prof.root.children["boom"].count == 1
+
+
+class TestErrorAccounting:
+    def test_timed_records_span_on_the_exception_path(self):
+        prof = Profiler()
+        with prof:
+            with pytest.raises(RuntimeError):
+                with timed("flaky"):
+                    raise RuntimeError("boom")
+            with timed("flaky"):
+                pass
+        flaky = prof.root.children["flaky"]
+        assert flaky.count == 2  # the failed call is not lost
+        assert flaky.errors == 1
+        assert flaky.total_seconds > 0.0
+
+    def test_profiler_span_counts_errors(self):
+        prof = Profiler()
+        with prof:
+            with pytest.raises(ValueError):
+                with prof.span("solve"):
+                    raise ValueError("bad rho")
+        solve = prof.root.children["solve"]
+        assert solve.count == 1 and solve.errors == 1
+
+    def test_nested_failure_attributes_to_every_open_span(self):
+        prof = Profiler()
+        with prof:
+            with pytest.raises(RuntimeError):
+                with timed("outer"):
+                    with timed("inner"):
+                        raise RuntimeError("x")
+        assert prof.root.children["outer"].errors == 1
+        assert prof.root.children["outer"].children["inner"].errors == 1
+
+    def test_timed_double_exit_is_harmless(self):
+        prof = Profiler()
+        with prof:
+            cm = timed("once")
+            cm.__enter__()
+            cm.__exit__(None, None, None)
+            cm.__exit__(None, None, None)  # stray second close: no-op
+        once = prof.root.children["once"]
+        assert once.count == 1
+        assert len(prof._stack) == 1  # back at the root, not underflowed
+
+
+class TestSerialization:
+    def test_span_dict_round_trip_preserves_errors(self):
+        prof = Profiler()
+        with prof:
+            with pytest.raises(RuntimeError):
+                with timed("a"):
+                    with timed("b"):
+                        raise RuntimeError("x")
+        from repro.telemetry.profiling import Span
+
+        back = Span.from_dict(prof.root.to_dict())
+        assert back.to_dict() == prof.root.to_dict()
+        assert back.children["a"].children["b"].errors == 1
+
+    def test_from_dict_defaults_errors_for_old_payloads(self):
+        from repro.telemetry.profiling import Span
+
+        span = Span.from_dict({"name": "legacy", "count": 3,
+                               "total_seconds": 0.5})
+        assert span.errors == 0 and span.count == 3
