@@ -64,6 +64,7 @@ from repro.telemetry import (
     RefitCompleted,
     RefitRejected,
     ReplanCommitted,
+    ReplanDecided,
     ReplanRolledBack,
     ReplanStarted,
     resolve,
@@ -447,6 +448,14 @@ class Autopilot:
     def _replan(self, run: ScenarioRun, cause: str) -> None:
         cfg = self.config
         t = run.time
+        # snapshot the triggering evidence before it is consumed below, so
+        # the ReplanDecided provenance event records what the controller saw
+        new_detections = (len(self.observatory.drift.detections)
+                          - self._drift_seen)
+        drift_pms = tuple(sorted(int(p)
+                                 for p in self.observatory.drift.flagged_pms))
+        active_alerts = tuple(sorted(self.observatory.slo.active))
+        alert_streak = self._alert_streak
         fits, fp = self._refit(run, cause)
         # consume the evidence and start the cooldown whether or not the
         # refit survives the blacklist — evidence was spent either way
@@ -495,6 +504,15 @@ class Autopilot:
             budget=cfg.migration_budget,
         )
         self._stats.replans_started += 1
+        self._emit(ReplanDecided(
+            time=t,
+            decision_id=run.scheduler.next_decision_id(),
+            cause=cause, fingerprint=fp,
+            drift_detections=new_detections, drift_pms=drift_pms,
+            alert_streak=alert_streak, active_alerts=active_alerts,
+            baseline_cvr=baseline, budget=cfg.migration_budget,
+            deadline=deadline,
+        ))
         self._emit(ReplanStarted(
             time=t, cause=cause, fingerprint=fp,
             checkpoint=str(path) if path is not None else "",

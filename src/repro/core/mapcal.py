@@ -28,6 +28,7 @@ results across processes).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -118,6 +119,18 @@ class BlockMapping:
 
     def __getitem__(self, k: int) -> int:
         return self.blocks_for(k)
+
+
+def table_fingerprint(mapping: BlockMapping) -> str:
+    """Short content hash identifying a block table in provenance events.
+
+    Covers the parameters *and* the computed ``k -> K`` entries, so two
+    decisions carry the same fingerprint exactly when the Eq. (17) test
+    they ran evaluated against identical tables.
+    """
+    payload = (f"{mapping.p_on!r}|{mapping.p_off!r}|{mapping.rho!r}|"
+               + ",".join(str(int(k)) for k in mapping.table))
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
 
 
 def mapcal_table(d: int, p_on: float, p_off: float, rho: float,

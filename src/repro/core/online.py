@@ -16,11 +16,19 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.mapcal import BlockMapping
+from repro.core.mapcal import BlockMapping, table_fingerprint
 from repro.core.queuing_ffd import QueuingFFD
 from repro.core.reservation import PMReservationState
 from repro.core.types import PMSpec, VMSpec
-from repro.placement.base import InsufficientCapacityError
+from repro.placement.base import (
+    REASON_CHOSEN,
+    REASON_CVR_THRESHOLD,
+    REASON_FEASIBLE,
+    REASON_VM_CAP,
+    InsufficientCapacityError,
+    PlacementExplainer,
+)
+from repro.telemetry import PRE_RUN, Telemetry, resolve
 
 
 class OnlineConsolidator:
@@ -38,10 +46,12 @@ class OnlineConsolidator:
         rounded ``(p_on, p_off)`` has drifted.
     """
 
-    def __init__(self, pms: Sequence[PMSpec], placer: QueuingFFD | None = None):
+    def __init__(self, pms: Sequence[PMSpec], placer: QueuingFFD | None = None,
+                 *, telemetry: Telemetry | None = None):
         if not pms:
             raise ValueError("need at least one PM")
         self.placer = placer if placer is not None else QueuingFFD()
+        self.telemetry = telemetry
         self._pms = list(pms)
         self._mapping: BlockMapping | None = None
         self._states: list[PMReservationState] = []
@@ -102,11 +112,48 @@ class OnlineConsolidator:
             PMReservationState(spec=p, mapping=self._mapping) for p in self._pms
         ]
 
-    def admit(self, vm: VMSpec) -> tuple[int, int]:
+    def _admission_row(self, vm: VMSpec) -> tuple[list[str], list[float]]:
+        """Per-PM Eq. (17) verdicts and post-admission headroom scores."""
+        mapping = self._mapping
+        verdicts: list[str] = []
+        scores: list[float] = []
+        for state in self._states:
+            new_count = state.count + 1
+            blocks = int(mapping.table[min(new_count, mapping.d)])
+            need = (max(state.max_extra, vm.r_extra) * blocks
+                    + state.base_sum + vm.r_base)
+            scores.append(state.spec.capacity - need)
+            if new_count > mapping.d:
+                verdicts.append(REASON_VM_CAP)
+            elif need > state.spec.capacity + 1e-9:
+                verdicts.append(REASON_CVR_THRESHOLD)
+            else:
+                verdicts.append(REASON_FEASIBLE)
+        return verdicts, scores
+
+    def _record_decision(self, vm: VMSpec, vm_id: int, chosen: int, *,
+                         context: str, time: int) -> None:
+        """Emit one ``PlacementDecided`` for an online admission attempt."""
+        tel = resolve(self.telemetry)
+        if tel is None or not tel.events.enabled:
+            return
+        explainer = PlacementExplainer(tel, self.placer.name, context=context)
+        explainer.set_inputs(
+            p_on=self._mapping.p_on, p_off=self._mapping.p_off,
+            table_fingerprint=table_fingerprint(self._mapping),
+            score_kind="reservation_headroom")
+        verdicts, scores = self._admission_row(vm)
+        if chosen >= 0:
+            verdicts[chosen] = REASON_CHOSEN
+        explainer.record(vm_id, chosen, verdicts, scores, time=time)
+
+    def admit(self, vm: VMSpec, *, time: int = PRE_RUN) -> tuple[int, int]:
         """Admit one VM; returns ``(vm_id, pm_index)``.
 
         First-fit over PMs with the Eq. (17) test, exactly the paper's
-        single-arrival rule.
+        single-arrival rule.  When an event-enabled telemetry context is
+        resolved, the attempt (successful or not) is recorded as a
+        ``PlacementDecided`` with ``context="online"``, stamped ``time``.
 
         Raises
         ------
@@ -115,49 +162,78 @@ class OnlineConsolidator:
         """
         if self._mapping is None:
             self._init_mapping([vm])
+        chosen = -1
         for pm_idx, state in enumerate(self._states):
             if state.fits(vm):
-                vm_id = self._next_id
-                self._next_id += 1
-                state.add(vm_id, vm)
-                self._locations[vm_id] = pm_idx
-                return vm_id, pm_idx
-        raise InsufficientCapacityError(-1, "no PM can admit the arriving VM")
+                chosen = pm_idx
+                break
+        vm_id = self._next_id if chosen >= 0 else -1
+        self._record_decision(vm, vm_id, chosen, context="online", time=time)
+        if chosen < 0:
+            raise InsufficientCapacityError(-1, "no PM can admit the arriving VM")
+        self._next_id += 1
+        self._states[chosen].add(vm_id, vm)
+        self._locations[vm_id] = chosen
+        return vm_id, chosen
 
-    def admit_batch(self, vms: Sequence[VMSpec]) -> list[tuple[int, int]]:
+    def admit_batch(self, vms: Sequence[VMSpec],
+                    *, time: int = PRE_RUN) -> list[tuple[int, int]]:
         """Admit a batch using Algorithm 2's ordering over the batch.
 
         Returns ``(vm_id, pm_index)`` per input VM, in input order.  The
         operation is atomic: if any VM fails to fit, no VM from the batch is
-        admitted.
+        admitted.  Under tracing each admission becomes a
+        ``PlacementDecided`` with ``context="online_batch"`` (the candidate
+        verdicts reflect earlier batch members, matching the actual test).
         """
         if not vms:
             return []
         if self._mapping is None:
             self._init_mapping(vms)
+        tel = resolve(self.telemetry)
+        traced = tel is not None and tel.events.enabled
         order = self.placer.order_vms(vms)
         placed: list[tuple[int, int, VMSpec]] = []  # (input position, pm, spec)
+        rows: list[tuple[list[str], list[float]]] = []  # parallel to placed
         for pos in order:
             pos = int(pos)
             vm = vms[pos]
+            row = self._admission_row(vm) if traced else None
             for pm_idx, state in enumerate(self._states):
                 if state.fits(vm):
                     # reserve without ids yet; use a temp negative id
                     state.add(-(pos + 1), vm)
                     placed.append((pos, pm_idx, vm))
+                    if traced:
+                        row[0][pm_idx] = REASON_CHOSEN
+                        rows.append(row)
                     break
             else:
+                if traced:
+                    self._record_decision(vm, -1, -1, context="online_batch",
+                                          time=time)
                 for p, pm_idx, v in placed:  # rollback
                     self._states[pm_idx].remove(-(p + 1))
                 raise InsufficientCapacityError(pos, f"batch VM {pos} does not fit")
         results: list[tuple[int, int]] = [(-1, -1)] * len(vms)
-        for pos, pm_idx, vm in placed:
+        explainer = None
+        if traced:
+            explainer = PlacementExplainer(tel, self.placer.name,
+                                           context="online_batch")
+            explainer.set_inputs(
+                p_on=self._mapping.p_on, p_off=self._mapping.p_off,
+                table_fingerprint=table_fingerprint(self._mapping),
+                score_kind="reservation_headroom")
+        for i, (pos, pm_idx, vm) in enumerate(placed):
             self._states[pm_idx].remove(-(pos + 1))
             vm_id = self._next_id
             self._next_id += 1
             self._states[pm_idx].add(vm_id, vm)
             self._locations[vm_id] = pm_idx
             results[pos] = (vm_id, pm_idx)
+            if explainer is not None:
+                verdicts, scores = rows[i]
+                explainer.record(vm_id, pm_idx, verdicts, scores, time=time)
         return results
 
     def depart(self, vm_id: int) -> int:

@@ -21,12 +21,20 @@ import numpy as np
 
 from repro.cluster.binning import equal_width_bins
 from repro.cluster.kmeans import kmeans_1d
-from repro.core.mapcal import BlockMapping, mapcal_table
+from repro.core.mapcal import BlockMapping, mapcal_table, table_fingerprint
 from repro.core.reservation import PMReservationState
 from repro.core.rounding import RoundingRule, round_switch_probabilities
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.markov.chain import StationaryMethod
-from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.base import (
+    REASON_CHOSEN,
+    REASON_CVR_THRESHOLD,
+    REASON_FEASIBLE,
+    REASON_SPREAD,
+    REASON_VM_CAP,
+    InsufficientCapacityError,
+    Placer,
+)
 from repro.placement.spread import DomainSpreadConstraint
 from repro.telemetry import timed
 from repro.utils.validation import check_integer, check_probability
@@ -145,7 +153,22 @@ class QueuingFFD(Placer):
         placement = Placement(len(vms), len(pms))
         if not vms:
             return placement, []
-        mapping = self.mapping_for(vms)
+        explainer = self.explainer
+        if explainer is None:
+            mapping = self.mapping_for(vms)
+        else:
+            # Stamp the model inputs on every decision: the (rounded)
+            # switching probabilities, a fingerprint of the MapCal table the
+            # Eq. (17) test ran against, and whether building it hit the
+            # process-wide cache (no new misses = fully warm).
+            from repro.perf.cache import cache_stats
+            misses_before = cache_stats()["misses"]
+            mapping = self.mapping_for(vms)
+            explainer.set_inputs(
+                p_on=mapping.p_on, p_off=mapping.p_off,
+                table_fingerprint=table_fingerprint(mapping),
+                cache_hit=cache_stats()["misses"] == misses_before,
+                score_kind="reservation_headroom")
         m = len(pms)
         caps = np.array([p.capacity for p in pms], dtype=float)
         counts = np.zeros(m, dtype=np.int64)
@@ -167,13 +190,33 @@ class QueuingFFD(Placer):
                 np.maximum(max_extras, vm.r_extra) * blocks
                 + base_sums + vm.r_base
             )
-            eligible &= need <= caps + 1e-9
+            count_ok = eligible.copy()
+            capacity_ok = need <= caps + 1e-9
+            eligible &= capacity_ok
             if self.spread is not None:
-                eligible &= self.spread.allowed_pms(domain_counts)
+                spread_ok = self.spread.allowed_pms(domain_counts)
+                eligible &= spread_ok
+            else:
+                spread_ok = None
             hit = np.flatnonzero(eligible)
-            if hit.size == 0:
+            pm_idx = int(hit[0]) if hit.size else -1
+            if explainer is not None:
+                verdicts = []
+                for j in range(m):
+                    if j == pm_idx:
+                        verdicts.append(REASON_CHOSEN)
+                    elif not count_ok[j]:
+                        verdicts.append(REASON_VM_CAP)
+                    elif not capacity_ok[j]:
+                        verdicts.append(REASON_CVR_THRESHOLD)
+                    elif spread_ok is not None and not spread_ok[j]:
+                        verdicts.append(REASON_SPREAD)
+                    else:
+                        verdicts.append(REASON_FEASIBLE)
+                explainer.record(vm_idx, pm_idx, verdicts,
+                                 (caps - need).tolist())
+            if pm_idx < 0:
                 raise InsufficientCapacityError(vm_idx)
-            pm_idx = int(hit[0])
             counts[pm_idx] += 1
             base_sums[pm_idx] += vm.r_base
             max_extras[pm_idx] = max(max_extras[pm_idx], vm.r_extra)

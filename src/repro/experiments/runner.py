@@ -32,6 +32,12 @@ Profile and gate performance (the perf observatory):
         benchmarks/results/BENCH_PERF_timings.json     # CI perf gate
     python -m repro compare old_timings.json new_timings.json \
         --tolerance 'sweep.*.median_seconds=25'        # perf trend diff
+
+Explain decisions (provenance, see docs/OBSERVABILITY.md):
+
+    python -m repro explain run.jsonl                  # decision overview
+    python -m repro explain run.jsonl --vm 19          # why here, why not there
+    python -m repro explain run.jsonl --tick 92        # a replan + evidence
 """
 
 from __future__ import annotations
@@ -344,6 +350,28 @@ def build_parser() -> argparse.ArgumentParser:
                            "scheduler, monitor)")
     perf.add_argument("--no-memory", action="store_true",
                       help="skip the tracemalloc allocation pass")
+
+    explain = sub.add_parser(
+        "explain",
+        help="decision provenance: reconstruct why a VM landed where it "
+             "did (and why not elsewhere) from a recorded JSONL trace")
+    explain.add_argument("trace", type=Path,
+                         help="recorded JSONL event stream (e.g. from "
+                              "`repro trace --jsonl` or "
+                              "`repro autopilot --jsonl`)")
+    what = explain.add_mutually_exclusive_group()
+    what.add_argument("--vm", type=int, default=None,
+                      help="every decision that concerned this VM")
+    what.add_argument("--pm", type=int, default=None,
+                      help="every decision in which this PM appeared "
+                           "(winner, candidate, source, or move endpoint)")
+    what.add_argument("--tick", type=int, default=None,
+                      help="every decision taken at this interval")
+    what.add_argument("--decision", type=int, default=None,
+                      help="one decision by stream ordinal (the 'seq' "
+                           "column of the overview) or producer id")
+    explain.add_argument("-o", "--output", type=Path, default=None,
+                         help="also write the rendered explanation here")
 
     sub.add_parser("claims",
                    help="machine-check the paper's headline claims")
@@ -774,6 +802,28 @@ def _cmd_perf(args) -> int:
     return exit_code
 
 
+def _cmd_explain(args) -> int:
+    """Render one explain-query from a recorded trace (no simulator)."""
+    from repro.observability.provenance import (
+        ProvenanceIndex,
+        render_explanation,
+    )
+
+    try:
+        index = ProvenanceIndex.from_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    text = render_explanation(index, vm=args.vm, pm=args.pm,
+                              tick=args.tick, decision=args.decision)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+        print(f"[explanation written to {args.output}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -797,6 +847,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "claims":
         from repro.experiments.claims import verify_claims
 

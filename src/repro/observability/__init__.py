@@ -19,6 +19,9 @@ operator questions the paper's consolidation story raises in production:
   (``python -m repro dashboard``);
 - :mod:`repro.observability.compare` — run-to-run regression diff
   (``python -m repro compare``);
+- :mod:`repro.observability.provenance` — decision provenance: the query
+  layer over the ``*Decided`` event vocabulary and the byte-deterministic
+  "why here, why not there" renderer (``python -m repro explain``);
 - :mod:`repro.observability.perf` — the performance observatory: phase
   attribution of the span tree, scaling probes (``python -m repro perf``),
   Chrome-trace export and committed perf budgets for CI gating.
@@ -41,6 +44,11 @@ from repro.observability.perf import (
     chrome_trace_to_spans,
     run_perf_sweep,
     spans_to_chrome_trace,
+)
+from repro.observability.provenance import (
+    REASON_TEXT,
+    ProvenanceIndex,
+    render_explanation,
 )
 from repro.observability.recorder import PMState, TimeSeriesRecorder
 from repro.observability.series import RollingWindow, TieredSeries
@@ -69,6 +77,9 @@ __all__ = [
     "DriftDetector",
     "PMDriftState",
     "Observatory",
+    "ProvenanceIndex",
+    "REASON_TEXT",
+    "render_explanation",
     "PhaseAttributor",
     "PhaseReport",
     "PerfBudget",

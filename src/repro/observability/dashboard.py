@@ -326,6 +326,43 @@ def render_frame(obs: Observatory, *, title: str = "run observatory",
                     f"parity {'ok' if e.parity else 'BROKEN'}")
         lines.append(_rule())
 
+    # decision provenance
+    decisions = obs.decision_events
+    if decisions:
+        by_kind = {"placement_decided": 0, "migration_decided": 0,
+                   "reconsolidation_decided": 0, "replan_decided": 0}
+        for e in decisions:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        dropped = int(summary.get("decisions_dropped_total", 0))
+        lines.append(
+            f"DECISIONS: {len(decisions)} recorded "
+            f"({by_kind['placement_decided']} placement, "
+            f"{by_kind['migration_decided']} migration, "
+            f"{by_kind['reconsolidation_decided']} reconsolidation, "
+            f"{by_kind['replan_decided']} replan; "
+            f"{dropped} candidate rows truncated)")
+        for e in decisions[-4:]:
+            if e.kind == "placement_decided":
+                lines.append(
+                    f"  t={e.time}: place vm {e.vm_id} -> pm {e.chosen_pm} "
+                    f"[{e.placer}] {len(e.cand_pms)} candidates")
+            elif e.kind == "migration_decided":
+                where = (f"pm {e.chosen_pm}" if e.chosen_pm >= 0
+                         else "NO TARGET")
+                lines.append(
+                    f"  t={e.time}: migrate vm {e.vm_id} off pm "
+                    f"{e.source_pm} -> {where} [{e.cause}]")
+            elif e.kind == "reconsolidation_decided":
+                lines.append(
+                    f"  t={e.time}: reconsolidation [{e.cause}] "
+                    f"{e.executed_moves}/{e.planned_moves} moves")
+            elif e.kind == "replan_decided":
+                lines.append(
+                    f"  t={e.time}: replan [{e.cause}] "
+                    f"{e.drift_detections} drift, streak {e.alert_streak}")
+        lines.append("  (full audit trail: python -m repro explain <jsonl>)")
+        lines.append(_rule())
+
     # worst offenders
     worst = rec.worst_pms(5)
     if worst:

@@ -37,9 +37,13 @@ from repro.telemetry.events import (
     AlertResolved,
     DriftDetected,
     IntervalSnapshot,
+    MigrationDecided,
+    PlacementDecided,
+    ReconsolidationDecided,
     RefitCompleted,
     RefitRejected,
     ReplanCommitted,
+    ReplanDecided,
     ReplanRolledBack,
     ReplanStarted,
     TelemetryEvent,
@@ -48,6 +52,10 @@ from repro.telemetry.events import (
 #: the autopilot control-loop vocabulary (collected, live and in replay)
 AUTOPILOT_EVENTS = (RefitCompleted, RefitRejected, ReplanStarted,
                     ReplanCommitted, ReplanRolledBack)
+
+#: the decision-provenance vocabulary (collected, live and in replay)
+DECISION_EVENTS = (PlacementDecided, MigrationDecided,
+                   ReconsolidationDecided, ReplanDecided)
 from repro.telemetry.sinks import read_events_tolerant
 
 __all__ = ["Observatory"]
@@ -94,6 +102,8 @@ class Observatory:
         self.recorded_alerts: list[TelemetryEvent] = []
         #: autopilot refit/replan events, chronological (live and replay)
         self.autopilot_events: list[TelemetryEvent] = []
+        #: decision-provenance events, chronological (live and replay)
+        self.decision_events: list[TelemetryEvent] = []
         #: malformed JSONL lines skipped by :meth:`from_jsonl`
         self.skipped_lines = 0
         self._live = False
@@ -132,6 +142,9 @@ class Observatory:
         if isinstance(event, AUTOPILOT_EVENTS):
             self.autopilot_events.append(event)
             return
+        if isinstance(event, DECISION_EVENTS):
+            self.decision_events.append(event)
+            return
         self.recorder.on_event(event)
         if isinstance(event, IntervalSnapshot):
             self.drift.observe(event)
@@ -163,6 +176,11 @@ class Observatory:
         out["replans_rolled_back"] = float(sum(
             1 for e in self.autopilot_events
             if isinstance(e, ReplanRolledBack)))
+        out["decisions_recorded"] = float(len(self.decision_events))
+        out["decisions_dropped_total"] = float(sum(
+            getattr(e, "dropped_candidates", 0)
+            + getattr(e, "dropped_moves", 0)
+            for e in self.decision_events))
         return out
 
     # ----------------------------------------------------------------- #

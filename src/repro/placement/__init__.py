@@ -15,7 +15,13 @@
   tests and the simulator.
 """
 
-from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.base import (
+    PLACEMENT_REASONS,
+    InsufficientCapacityError,
+    Placer,
+    PlacementExplainer,
+    truncate_candidates,
+)
 from repro.placement.ffd import (
     BestFitDecreasing,
     FirstFitDecreasing,
@@ -40,7 +46,10 @@ from repro.placement.validation import (
 
 __all__ = [
     "InsufficientCapacityError",
+    "PLACEMENT_REASONS",
     "Placer",
+    "PlacementExplainer",
+    "truncate_candidates",
     "BestFitDecreasing",
     "FirstFitDecreasing",
     "NextFit",

@@ -7,9 +7,136 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 from repro.core.types import Placement, PMSpec, VMSpec
-from repro.telemetry import PRE_RUN, Telemetry, VMPlaced, resolve, timed
+from repro.telemetry import (
+    PRE_RUN,
+    PlacementDecided,
+    Telemetry,
+    VMPlaced,
+    resolve,
+    timed,
+)
 
 logger = logging.getLogger(__name__)
+
+
+#: per-candidate verdict strings shared by every decision producer.  These
+#: are part of the JSONL trace format: ``repro explain`` renders them and
+#: tests assert they never drift, so treat them as a wire protocol.
+REASON_CHOSEN = "chosen"                 # the winning PM
+REASON_FEASIBLE = "feasible"             # admissible, but another PM won
+REASON_CAPACITY = "capacity"             # deterministic capacity exceeded
+REASON_CVR_THRESHOLD = "cvr_threshold"   # Eq.(17) reservation / SBP overflow
+REASON_VM_CAP = "vm_cap"                 # per-PM VM-count limit (mapping d)
+REASON_SPREAD = "spread_constraint"      # DomainSpreadConstraint veto
+REASON_CRASHED = "crashed_pm"            # PM excluded: crashed/unavailable
+REASON_BLACKLISTED = "blacklisted_pm"    # PM excluded: migration blacklist
+REASON_SOURCE = "source_pm"              # migration may not target its source
+
+#: every verdict string a decision event may carry
+PLACEMENT_REASONS = frozenset({
+    REASON_CHOSEN, REASON_FEASIBLE, REASON_CAPACITY, REASON_CVR_THRESHOLD,
+    REASON_VM_CAP, REASON_SPREAD, REASON_CRASHED, REASON_BLACKLISTED,
+    REASON_SOURCE,
+})
+
+
+def truncate_candidates(verdicts: Sequence[str], chosen: int,
+                        top_k: int = 8) -> tuple[list[int], int]:
+    """Pick the ``top_k`` candidate rows worth keeping in a decision event.
+
+    Deterministic: the winner first, then feasible PMs, then the rest, ties
+    broken by PM index; the kept set is returned sorted by PM index along
+    with how many rows were dropped (the event records the drop count, so
+    truncation is never silent).
+    """
+    total = len(verdicts)
+    order = sorted(range(total), key=lambda i: (
+        0 if i == chosen else
+        1 if verdicts[i] == REASON_FEASIBLE else 2,
+        i))
+    keep = sorted(order[:top_k])
+    return keep, total - len(keep)
+
+
+class PlacementExplainer:
+    """Per-pass collector turning candidate evaluations into decision events.
+
+    :meth:`Placer.place_and_report` attaches one of these to the placer for
+    the duration of the pass (only when an event-enabled telemetry context
+    is resolved, so the zero-telemetry hot path never pays for it).
+    Concrete placers call :meth:`record` once per VM with the full per-PM
+    verdict/score arrays; the explainer truncates the candidate list to
+    ``top_k`` entries (the winner and feasible PMs are kept preferentially,
+    ties broken by PM index), counts what it dropped — truncation is never
+    silent — and emits one :class:`~repro.telemetry.PlacementDecided`.
+    """
+
+    def __init__(self, telemetry: Telemetry, placer_name: str, *,
+                 top_k: int = 8, context: str = "batch"):
+        self.telemetry = telemetry
+        self.placer_name = placer_name
+        self.top_k = top_k
+        self.context = context
+        # defaults stamped on every subsequent record(); placers that model
+        # switching behavior override per VM via record() kwargs
+        self.p_on = 0.0
+        self.p_off = 0.0
+        self.table_fingerprint = ""
+        self.cache_hit = False
+        self.score_kind = "residual_capacity"
+
+    def set_inputs(self, *, p_on: float | None = None,
+                   p_off: float | None = None,
+                   table_fingerprint: str | None = None,
+                   cache_hit: bool | None = None,
+                   score_kind: str | None = None) -> None:
+        """Set the model inputs stamped on subsequent :meth:`record` calls."""
+        if p_on is not None:
+            self.p_on = float(p_on)
+        if p_off is not None:
+            self.p_off = float(p_off)
+        if table_fingerprint is not None:
+            self.table_fingerprint = table_fingerprint
+        if cache_hit is not None:
+            self.cache_hit = bool(cache_hit)
+        if score_kind is not None:
+            self.score_kind = score_kind
+
+    def record(self, vm_id: int, chosen_pm: int,
+               verdicts: Sequence[str], scores: Sequence[float], *,
+               time: int = PRE_RUN, p_on: float | None = None,
+               p_off: float | None = None) -> None:
+        """Emit the decision event for one VM.
+
+        ``verdicts``/``scores`` are parallel per-PM arrays covering *all*
+        PMs; ``chosen_pm`` is -1 for an infeasible decision (recorded just
+        before :class:`InsufficientCapacityError` is raised, so the trace
+        explains failures too).
+        """
+        keep, dropped = truncate_candidates(verdicts, chosen_pm, self.top_k)
+        if dropped:
+            self.telemetry.metrics.counter(
+                "decisions_dropped_total",
+                "candidate rows truncated from decision events",
+            ).inc(dropped)
+        self.telemetry.emit(PlacementDecided(
+            time=time,
+            decision_id=self.telemetry.next_decision_id(),
+            vm_id=int(vm_id),
+            placer=self.placer_name,
+            chosen_pm=int(chosen_pm),
+            context=self.context,
+            p_on=float(self.p_on if p_on is None else p_on),
+            p_off=float(self.p_off if p_off is None else p_off),
+            table_fingerprint=self.table_fingerprint,
+            cache_hit=self.cache_hit,
+            score_kind=self.score_kind,
+            cand_pms=tuple(int(i) for i in keep),
+            cand_scores=tuple(round(float(scores[i]), 6) for i in keep),
+            cand_verdicts=tuple(str(verdicts[i]) for i in keep),
+            dropped_candidates=int(dropped),
+            total_pms=len(verdicts),
+        ))
 
 
 class InsufficientCapacityError(RuntimeError):
@@ -35,6 +162,11 @@ class Placer(ABC):
 
     #: short identifier used in experiment tables (e.g. "QUEUE", "RP", "RB")
     name: str = "placer"
+
+    #: provenance hook; :meth:`place_and_report` installs a
+    #: :class:`PlacementExplainer` here for the duration of an instrumented
+    #: pass.  ``None`` means "don't compute per-candidate verdicts".
+    explainer: PlacementExplainer | None = None
 
     @abstractmethod
     def place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
@@ -70,8 +202,13 @@ class Placer(ABC):
         clock) plus footprint metrics.
         """
         tel = resolve(telemetry)
-        with timed(f"place.{self.name}"):
-            placement = self.place(vms, pms)
+        if tel is not None and tel.events.enabled:
+            self.explainer = PlacementExplainer(tel, self.name)
+        try:
+            with timed(f"place.{self.name}"):
+                placement = self.place(vms, pms)
+        finally:
+            self.explainer = None
         if tel is not None:
             tel.metrics.counter(
                 "placements_total", "consolidation passes executed").inc()

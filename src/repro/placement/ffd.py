@@ -22,7 +22,15 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.types import Placement, PMSpec, VMSpec
-from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.base import (
+    REASON_CAPACITY,
+    REASON_CHOSEN,
+    REASON_FEASIBLE,
+    REASON_SPREAD,
+    REASON_VM_CAP,
+    InsufficientCapacityError,
+    Placer,
+)
 from repro.placement.spread import DomainSpreadConstraint
 from repro.telemetry import timed
 from repro.utils.validation import check_integer
@@ -79,6 +87,11 @@ class _GreedyPlacer(Placer):
             vm_idx = int(vm_idx)
             size = sizes[vm_idx]
             pm = self._pick_pm(size, free, counts)
+            if self.explainer is not None:
+                verdicts, scores = self._explain_row(
+                    size, free, counts, -1 if pm is None else pm)
+                self.explainer.record(vm_idx, -1 if pm is None else pm,
+                                      verdicts, scores)
             if pm is None:
                 raise InsufficientCapacityError(vm_idx)
             placement.place(vm_idx, pm)
@@ -96,6 +109,29 @@ class _GreedyPlacer(Placer):
 
     def _pick_pm(self, size: float, free: np.ndarray, counts: np.ndarray) -> int | None:
         raise NotImplementedError
+
+    def _explain_row(self, size: float, free: np.ndarray, counts: np.ndarray,
+                     chosen: int) -> tuple[list[str], list[float]]:
+        """Per-PM verdicts/scores for one VM (capacity > vm_cap > spread)."""
+        cap_ok = free + _EPS >= size
+        cnt_ok = counts < self.max_vms_per_pm
+        if self.spread is not None:
+            spread_ok = self.spread.allowed_pms(self._domain_counts)
+        else:
+            spread_ok = np.ones(free.size, dtype=bool)
+        verdicts = []
+        for j in range(free.size):
+            if j == chosen:
+                verdicts.append(REASON_CHOSEN)
+            elif not cap_ok[j]:
+                verdicts.append(REASON_CAPACITY)
+            elif not cnt_ok[j]:
+                verdicts.append(REASON_VM_CAP)
+            elif not spread_ok[j]:
+                verdicts.append(REASON_SPREAD)
+            else:
+                verdicts.append(REASON_FEASIBLE)
+        return verdicts, (free - size).tolist()
 
 
 class FirstFitDecreasing(_GreedyPlacer):

@@ -43,4 +43,10 @@ class RBExPlacer(Placer):
 
     def place(self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]) -> Placement:
         shrunk = [PMSpec(capacity=p.capacity * (1.0 - self.delta)) for p in pms]
-        return self._inner.place(vms, shrunk)
+        # forward the provenance hook so the delegated FFD pass explains
+        # its decisions (scores are residuals against the shrunk capacity)
+        self._inner.explainer = self.explainer
+        try:
+            return self._inner.place(vms, shrunk)
+        finally:
+            self._inner.explainer = None

@@ -29,7 +29,15 @@ import numpy as np
 from scipy.stats import norm
 
 from repro.core.types import Placement, PMSpec, VMSpec
-from repro.placement.base import InsufficientCapacityError, Placer
+from repro.placement.base import (
+    REASON_CAPACITY,
+    REASON_CHOSEN,
+    REASON_CVR_THRESHOLD,
+    REASON_FEASIBLE,
+    REASON_VM_CAP,
+    InsufficientCapacityError,
+    Placer,
+)
 from repro.utils.validation import check_integer, check_probability
 
 _EPS = 1e-9
@@ -79,19 +87,57 @@ class StochasticBinPacker(Placer):
         var_sum = np.zeros(len(pms))
         counts = np.zeros(len(pms), dtype=np.int64)
         caps = np.array([p.capacity for p in pms], dtype=float)
+        explainer = self.explainer
+        if explainer is not None:
+            explainer.set_inputs(score_kind="overflow_probability")
         for vm_idx in order:
             vm_idx = int(vm_idx)
             mu, var = stats[vm_idx]
             need = mean_sum + mu + self._z * np.sqrt(var_sum + var)
-            ok = (need <= caps + _EPS) & (counts < self.max_vms_per_pm)
+            adm_ok = need <= caps + _EPS
+            cnt_ok = counts < self.max_vms_per_pm
             # Peak demand of a lone VM must also fit physically.
-            ok &= vms[vm_idx].r_peak <= caps + _EPS
-            candidates = np.flatnonzero(ok)
-            if not candidates.size:
+            peak_ok = vms[vm_idx].r_peak <= caps + _EPS
+            candidates = np.flatnonzero(adm_ok & cnt_ok & peak_ok)
+            pm = int(candidates[0]) if candidates.size else -1
+            if explainer is not None:
+                explainer.record(
+                    vm_idx, pm,
+                    self._verdicts(pm, adm_ok, cnt_ok, peak_ok),
+                    self._overflow_probability(mean_sum + mu, var_sum + var,
+                                               caps).tolist(),
+                    p_on=vms[vm_idx].p_on, p_off=vms[vm_idx].p_off)
+            if pm < 0:
                 raise InsufficientCapacityError(vm_idx)
-            pm = int(candidates[0])
             placement.place(vm_idx, pm)
             mean_sum[pm] += mu
             var_sum[pm] += var
             counts[pm] += 1
         return placement
+
+    @staticmethod
+    def _overflow_probability(mean_tot: np.ndarray, var_tot: np.ndarray,
+                              caps: np.ndarray) -> np.ndarray:
+        """P(aggregate demand > capacity) per PM if the VM were admitted."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            prob = norm.sf((caps - mean_tot) / np.sqrt(var_tot))
+        # var 0 collapses the normal to a point mass at the mean
+        return np.where(var_tot > 0.0, prob,
+                        np.where(mean_tot <= caps + _EPS, 0.0, 1.0))
+
+    @staticmethod
+    def _verdicts(chosen: int, adm_ok: np.ndarray, cnt_ok: np.ndarray,
+                  peak_ok: np.ndarray) -> list[str]:
+        verdicts = []
+        for j in range(adm_ok.size):
+            if j == chosen:
+                verdicts.append(REASON_CHOSEN)
+            elif not peak_ok[j]:
+                verdicts.append(REASON_CAPACITY)
+            elif not cnt_ok[j]:
+                verdicts.append(REASON_VM_CAP)
+            elif not adm_ok[j]:
+                verdicts.append(REASON_CVR_THRESHOLD)
+            else:
+                verdicts.append(REASON_FEASIBLE)
+        return verdicts

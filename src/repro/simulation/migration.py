@@ -39,6 +39,13 @@ from typing import Callable, Optional, Protocol
 
 import numpy as np
 
+from repro.placement.base import (
+    REASON_BLACKLISTED,
+    REASON_CAPACITY,
+    REASON_CRASHED,
+    REASON_FEASIBLE,
+    REASON_SOURCE,
+)
 from repro.simulation.datacenter import Datacenter
 from repro.telemetry import (
     MigrationCompleted,
@@ -133,6 +140,36 @@ def _feasible_mask(dc: Datacenter, vm_id: int, source_pm: int,
     if excluded is not None:
         ok &= ~np.asarray(excluded, dtype=bool)
     return ok
+
+
+def explain_targets(dc: Datacenter, vm_id: int, source_pm: int, *,
+                    crashed: Optional[np.ndarray] = None,
+                    blacklisted: Optional[np.ndarray] = None,
+                    ) -> tuple[list[str], list[float]]:
+    """Per-PM verdicts/scores for one migration target decision.
+
+    Mirrors :func:`_feasible_mask` but keeps the *reason* each PM was
+    vetoed (source > crashed > blacklisted > capacity); the score is the
+    residual capacity the PM would retain after hosting the VM.  Feeds
+    ``MigrationDecided`` provenance events.
+    """
+    loads = dc.pm_loads()
+    caps = np.array([p.spec.capacity for p in dc.pms])
+    demand = dc.vm_demands()[vm_id]
+    residual = caps - loads - demand
+    verdicts: list[str] = []
+    for j in range(caps.size):
+        if j == source_pm:
+            verdicts.append(REASON_SOURCE)
+        elif crashed is not None and crashed[j]:
+            verdicts.append(REASON_CRASHED)
+        elif blacklisted is not None and blacklisted[j]:
+            verdicts.append(REASON_BLACKLISTED)
+        elif residual[j] < -_EPS:
+            verdicts.append(REASON_CAPACITY)
+        else:
+            verdicts.append(REASON_FEASIBLE)
+    return verdicts, residual.tolist()
 
 
 def select_target_least_loaded(dc: Datacenter, vm_id: int,

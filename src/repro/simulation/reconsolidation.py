@@ -30,7 +30,12 @@ from repro.placement.base import InsufficientCapacityError
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.migration import MigrationEvent, MigrationPolicy
 from repro.simulation.scheduler import DynamicScheduler
-from repro.telemetry import MigrationCompleted, ReconsolidationTriggered, timed
+from repro.telemetry import (
+    MigrationCompleted,
+    ReconsolidationDecided,
+    ReconsolidationTriggered,
+    timed,
+)
 from repro.utils.validation import check_integer
 
 
@@ -95,13 +100,21 @@ class ReconsolidationScheduler(DynamicScheduler):
         """Whether an on-demand replan is queued for the next interval."""
         return self._pending_request is not None
 
+    #: move rows kept verbatim in each ``ReconsolidationDecided`` event
+    #: (the rest are counted in ``dropped_moves``; executed moves also
+    #: appear individually as ``MigrationCompleted`` events)
+    MOVES_IN_EVENT = 16
+
     def replan_now(self, time: int, *,
                    vms: Sequence[VMSpec] | None = None,
-                   max_moves: int | None = None) -> list[MigrationEvent]:
+                   max_moves: int | None = None,
+                   cause: str = "periodic") -> list[MigrationEvent]:
         """Re-place the fleet and execute the placement diff immediately.
 
         An infeasible plan (the placer cannot fit the planning specs) is a
         zero-move replan, not an error: the incumbent placement stands.
+        ``cause`` labels the provenance event ("periodic", "requested", or
+        a caller-supplied reason).
         """
         planning: Sequence[VMSpec] = (
             list(vms) if vms is not None else [v.spec for v in self.dc.vms]
@@ -132,7 +145,27 @@ class ReconsolidationScheduler(DynamicScheduler):
                 tel.emit(MigrationCompleted(time=time, vm_id=vm_id,
                                             source_pm=src, target_pm=target_pm))
         self.planned_migrations += len(events)
+        decision_id = self.next_decision_id()
         if traced:
+            kept = events[:self.MOVES_IN_EVENT]
+            dropped = len(events) - len(kept)
+            if dropped:
+                tel.metrics.counter(
+                    "decisions_dropped_total",
+                    "candidate rows truncated from decision events",
+                ).inc(dropped)
+            tel.emit(ReconsolidationDecided(
+                time=time,
+                decision_id=decision_id,
+                cause=cause,
+                placer=self.placer.name,
+                planned_moves=len(moves),
+                executed_moves=len(events),
+                move_vms=tuple(e.vm_id for e in kept),
+                move_sources=tuple(e.source_pm for e in kept),
+                move_targets=tuple(e.target_pm for e in kept),
+                dropped_moves=int(dropped),
+            ))
             tel.emit(ReconsolidationTriggered(time=time,
                                               planned_moves=len(moves),
                                               executed_moves=len(events)))
@@ -143,7 +176,8 @@ class ReconsolidationScheduler(DynamicScheduler):
         vms = request["vms"]
         specs = None if vms is None else [VMSpec(*row) for row in vms]
         return self.replan_now(time, vms=specs,
-                               max_moves=request["max_moves"])
+                               max_moves=request["max_moves"],
+                               cause="requested")
 
     def resolve_overloads(self, time: int) -> list[MigrationEvent]:
         """Reactive resolution, plus global re-plans.

@@ -21,16 +21,18 @@ import numpy as np
 from repro.core.types import Placement, PMSpec, VMSpec
 from repro.simulation.datacenter import Datacenter
 from repro.simulation.engine import SimulationEngine
+from repro.placement.base import REASON_CHOSEN, truncate_candidates
 from repro.simulation.migration import (
     MigrationEvent,
     MigrationExecutor,
     MigrationPolicy,
     RetryPolicy,
     StandardPolicy,
+    explain_targets,
 )
 from repro.simulation.monitor import Monitor, RunRecord
 from repro.simulation.triggers import MigrationTrigger, OverflowTrigger
-from repro.telemetry import Telemetry, resolve, timed
+from repro.telemetry import MigrationDecided, Telemetry, resolve, timed
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_integer
 
@@ -96,6 +98,17 @@ class DynamicScheduler:
                 "overloads_unresolved_total",
                 "overloaded PMs left violated (no feasible target)")
         self.failed_attempts_last_interval = 0
+        # Provenance decision ids.  Advanced at every decision point whether
+        # or not telemetry is attached, so captured state is identical for
+        # traced and untraced runs, and checkpointed so a split run's event
+        # stream stays byte-identical to a straight one.
+        self._decision_seq = 0
+
+    def next_decision_id(self) -> int:
+        """Allocate the next in-run decision id (monotonic, checkpointed)."""
+        did = self._decision_seq
+        self._decision_seq += 1
+        return did
 
     def _excluded_mask(self, time: int) -> np.ndarray | None:
         """Combined veto mask: crashed PMs plus blacklisted flappers."""
@@ -141,6 +154,11 @@ class DynamicScheduler:
                 target = self.policy.pick_target(
                     self.dc, vm_id, pm_id, excluded=self._excluded_mask(time)
                 )
+                decision_id = self.next_decision_id()
+                tel = self.telemetry
+                if tel is not None and tel.events.enabled:
+                    self._emit_decision(decision_id, time, vm_id, pm_id,
+                                        target)
                 if target is None:
                     # fits nowhere; tolerate the violation this interval
                     logger.debug(
@@ -162,6 +180,41 @@ class DynamicScheduler:
                 break
         return events
 
+    def _emit_decision(self, decision_id: int, time: int, vm_id: int,
+                       source_pm: int, target: int | None) -> None:
+        """Record one target choice (or the lack of one) as provenance.
+
+        Only called under an event-enabled telemetry context, so the
+        zero-telemetry scheduler loop never builds the candidate arrays.
+        """
+        tel = self.telemetry
+        crashed = (np.asarray(self.excluded_pms_fn(), dtype=bool)
+                   if self.excluded_pms_fn is not None else None)
+        verdicts, scores = explain_targets(
+            self.dc, vm_id, source_pm, crashed=crashed,
+            blacklisted=self.executor.blacklisted_mask(time))
+        chosen = -1 if target is None else int(target)
+        if chosen >= 0:
+            verdicts[chosen] = REASON_CHOSEN
+        keep, dropped = truncate_candidates(verdicts, chosen)
+        if dropped:
+            tel.metrics.counter(
+                "decisions_dropped_total",
+                "candidate rows truncated from decision events").inc(dropped)
+        tel.emit(MigrationDecided(
+            time=time,
+            decision_id=decision_id,
+            vm_id=int(vm_id),
+            source_pm=int(source_pm),
+            chosen_pm=chosen,
+            policy=getattr(self.policy, "name", type(self.policy).__name__),
+            cand_pms=tuple(keep),
+            cand_scores=tuple(round(float(scores[i]), 6) for i in keep),
+            cand_verdicts=tuple(verdicts[i] for i in keep),
+            dropped_candidates=int(dropped),
+            total_pms=len(verdicts),
+        ))
+
     # ------------------------------------------------------------------ #
     # checkpoint support
     # ------------------------------------------------------------------ #
@@ -179,6 +232,7 @@ class DynamicScheduler:
             "trigger": trigger,
             "failed_attempts_last_interval":
                 self.failed_attempts_last_interval,
+            "decision_seq": self._decision_seq,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -189,6 +243,7 @@ class DynamicScheduler:
             self.trigger.restore_state(state["trigger"])
         self.failed_attempts_last_interval = int(
             state["failed_attempts_last_interval"])
+        self._decision_seq = int(state.get("decision_seq", 0))
 
 
 @dataclass

@@ -46,14 +46,18 @@ from repro.telemetry.events import (
     DriftDetected,
     IntervalSnapshot,
     MigrationCompleted,
+    MigrationDecided,
     MigrationFailed,
     MigrationStarted,
+    PlacementDecided,
     PMCrashed,
     PMRepaired,
+    ReconsolidationDecided,
     ReconsolidationTriggered,
     RefitCompleted,
     RefitRejected,
     ReplanCommitted,
+    ReplanDecided,
     ReplanRolledBack,
     ReplanStarted,
     RunResumed,
@@ -109,14 +113,18 @@ __all__ = [
     "DriftDetected",
     "IntervalSnapshot",
     "MigrationCompleted",
+    "MigrationDecided",
     "MigrationFailed",
     "MigrationStarted",
+    "PlacementDecided",
     "PMCrashed",
     "PMRepaired",
+    "ReconsolidationDecided",
     "ReconsolidationTriggered",
     "RefitCompleted",
     "RefitRejected",
     "ReplanCommitted",
+    "ReplanDecided",
     "ReplanRolledBack",
     "ReplanStarted",
     "RunResumed",

@@ -41,6 +41,10 @@ class Telemetry:
         self.events = EventBus(sinks)
         self.metrics = MetricsRegistry()
         self.profiler = Profiler()
+        # Monotonic id shared by every *Decided provenance event emitted
+        # through this context.  Decision order is deterministic for a
+        # seeded run, so ids are stable across replays of the same seed.
+        self._next_decision_id = 0
         # Ring-sink overflow must surface somewhere queryable: route each
         # eviction into a counter so a truncated trace is detectable.
         dropped = self.metrics.counter(
@@ -53,6 +57,12 @@ class Telemetry:
     def emit(self, event: TelemetryEvent) -> None:
         """Shorthand for ``telemetry.events.emit(event)``."""
         self.events.emit(event)
+
+    def next_decision_id(self) -> int:
+        """Allocate the next provenance decision id (monotonic from 0)."""
+        did = self._next_decision_id
+        self._next_decision_id += 1
+        return did
 
     def close(self) -> None:
         """Close every event sink (flushes JSONL files)."""

@@ -80,6 +80,142 @@ class VMPlaced(TelemetryEvent):
 
 
 # --------------------------------------------------------------------- #
+# decision provenance (see :mod:`repro.observability.provenance`)
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class PlacementDecided(TelemetryEvent):
+    """One placement decision with its full (truncated) candidate set.
+
+    The explainable companion of :class:`VMPlaced`: besides the winning
+    ``chosen_pm`` it records *why* — the model inputs the placer reasoned
+    from (the VM's estimated ``(p_on, p_off)``, the MapCal table
+    fingerprint and whether its solves came from the cache) and, for each
+    candidate PM kept after top-K truncation, a score and a typed verdict
+    (one of the stable reason strings in
+    :data:`repro.placement.base.PLACEMENT_REASONS`).  ``chosen_pm`` is -1
+    when no PM was feasible (the decision that precedes an
+    ``InsufficientCapacityError``).  Truncation is never silent:
+    ``dropped_candidates`` counts the PMs elided from the parallel tuples.
+    """
+
+    kind: ClassVar[str] = "placement_decided"
+
+    decision_id: int
+    vm_id: int
+    placer: str = ""
+    chosen_pm: int = -1
+    context: str = "batch"
+    p_on: float = 0.0
+    p_off: float = 0.0
+    table_fingerprint: str = ""
+    cache_hit: bool = False
+    score_kind: str = ""
+    cand_pms: tuple[int, ...] = ()
+    cand_scores: tuple[float, ...] = ()
+    cand_verdicts: tuple[str, ...] = ()
+    dropped_candidates: int = 0
+    total_pms: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cand_pms", tuple(self.cand_pms))
+        object.__setattr__(self, "cand_scores", tuple(self.cand_scores))
+        object.__setattr__(self, "cand_verdicts", tuple(self.cand_verdicts))
+
+
+@register
+@dataclass(frozen=True)
+class MigrationDecided(TelemetryEvent):
+    """One migration target choice with per-candidate verdicts.
+
+    Emitted by the dynamic scheduler right before the migration attempt
+    (or instead of one, with ``chosen_pm = -1``, when no target was
+    feasible and the overload is tolerated).  Verdicts distinguish the
+    veto layers: capacity, crashed host, blacklisted flapper, the source
+    PM itself.  ``score`` is the candidate's free room after the move.
+    """
+
+    kind: ClassVar[str] = "migration_decided"
+
+    decision_id: int
+    vm_id: int
+    source_pm: int
+    chosen_pm: int = -1
+    policy: str = ""
+    cause: str = "overload"
+    cand_pms: tuple[int, ...] = ()
+    cand_scores: tuple[float, ...] = ()
+    cand_verdicts: tuple[str, ...] = ()
+    dropped_candidates: int = 0
+    total_pms: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cand_pms", tuple(self.cand_pms))
+        object.__setattr__(self, "cand_scores", tuple(self.cand_scores))
+        object.__setattr__(self, "cand_verdicts", tuple(self.cand_verdicts))
+
+
+@register
+@dataclass(frozen=True)
+class ReconsolidationDecided(TelemetryEvent):
+    """One global re-plan's move list (truncated) and its cause.
+
+    ``cause`` is ``"periodic"`` for the scheduled cadence or
+    ``"requested"`` for an on-demand replan (the autopilot's path).  The
+    parallel move tuples keep the first ``executed`` moves up to top-K;
+    ``dropped_moves`` counts the elided ones.
+    """
+
+    kind: ClassVar[str] = "reconsolidation_decided"
+
+    decision_id: int
+    cause: str = "periodic"
+    placer: str = ""
+    planned_moves: int = 0
+    executed_moves: int = 0
+    move_vms: tuple[int, ...] = ()
+    move_sources: tuple[int, ...] = ()
+    move_targets: tuple[int, ...] = ()
+    dropped_moves: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "move_vms", tuple(self.move_vms))
+        object.__setattr__(self, "move_sources", tuple(self.move_sources))
+        object.__setattr__(self, "move_targets", tuple(self.move_targets))
+
+
+@register
+@dataclass(frozen=True)
+class ReplanDecided(TelemetryEvent):
+    """The evidence behind one autopilot replan decision.
+
+    Links a :class:`ReplanStarted` (same ``time`` and ``fingerprint``) to
+    what triggered it: the count of fresh drift detections and the PMs
+    they flagged, or the sustained SLO-alert streak and the rules that
+    were firing.  The eventual :class:`ReplanCommitted` /
+    :class:`ReplanRolledBack` with the same fingerprint closes the chain.
+    """
+
+    kind: ClassVar[str] = "replan_decided"
+
+    decision_id: int
+    cause: str = ""
+    fingerprint: str = ""
+    drift_detections: int = 0
+    drift_pms: tuple[int, ...] = ()
+    alert_streak: int = 0
+    active_alerts: tuple[str, ...] = ()
+    baseline_cvr: float = 0.0
+    budget: int = 0
+    deadline: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "drift_pms", tuple(self.drift_pms))
+        object.__setattr__(self, "active_alerts",
+                           tuple(self.active_alerts))
+
+
+# --------------------------------------------------------------------- #
 # live migration
 # --------------------------------------------------------------------- #
 @register

@@ -16,6 +16,7 @@ lands in, and exact observed min/max clamp the tails.
 from __future__ import annotations
 
 import json
+import math
 import re
 from bisect import bisect_left
 from typing import Mapping, Sequence
@@ -170,7 +171,10 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
-        if self.count == 0:
+        if self.count == 0 or not self._min <= self._max:
+            # Empty, or no observation ever established a finite range
+            # (e.g. only NaNs were observed): there is no quantile, and
+            # answering with 0.0 or +/-inf would be a lie.
             return float("nan")
         target = q * self.count
         cumulative = 0
@@ -190,20 +194,28 @@ class Histogram:
         return self._max
 
     def to_dict(self) -> dict:
-        """JSON-friendly snapshot including p50/p90/p99 estimates."""
+        """JSON-friendly snapshot including p50/p90/p99 estimates.
+
+        Undefined statistics (empty histogram, or a NaN-poisoned one with
+        no finite range) are emitted as ``None`` — never as NaN/inf, which
+        ``json.dumps`` would render as invalid JSON.
+        """
+        def _safe(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
         return {
             "count": self.count,
-            "sum": self.sum,
-            "min": self._min if self.count else None,
-            "max": self._max if self.count else None,
-            "mean": self.mean if self.count else None,
+            "sum": _safe(self.sum),
+            "min": _safe(self._min) if self.count else None,
+            "max": _safe(self._max) if self.count else None,
+            "mean": _safe(self.mean) if self.count else None,
             "buckets": {
                 **{repr(b): c for b, c in zip(self.bounds, self.counts)},
                 "+Inf": self.counts[-1],
             },
-            "p50": self.percentile(0.5) if self.count else None,
-            "p90": self.percentile(0.9) if self.count else None,
-            "p99": self.percentile(0.99) if self.count else None,
+            "p50": _safe(self.percentile(0.5)) if self.count else None,
+            "p90": _safe(self.percentile(0.9)) if self.count else None,
+            "p99": _safe(self.percentile(0.99)) if self.count else None,
         }
 
 

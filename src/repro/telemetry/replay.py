@@ -40,13 +40,20 @@ def replay_summary(
     ``strandings``, ``restorations``, ``blacklistings``,
     ``reconsolidations``, ``vms_placed``, the observability-plane counts
     (``snapshots``, ``alerts_fired``, ``alerts_resolved``,
-    ``drift_detections``) and ``skipped_lines`` (0 when typed events were
+    ``drift_detections``), the decision-provenance counts
+    (``placement_decisions``, ``migration_decisions``,
+    ``reconsolidation_decisions``, ``replan_decisions``, plus
+    ``decisions_dropped_total`` — candidate/move rows truncated out of
+    decision events) and ``skipped_lines`` (0 when typed events were
     passed directly).
     """
     skipped = 0
     if isinstance(events, (str, Path)):
         events, skipped = read_events_tolerant(events)
+    events = list(events)
     kinds = count_by_kind(events)
+    dropped = sum(getattr(e, "dropped_candidates", 0)
+                  + getattr(e, "dropped_moves", 0) for e in events)
     return {
         "skipped_lines": skipped,
         "snapshots": kinds.get("interval_snapshot", 0),
@@ -64,4 +71,9 @@ def replay_summary(
         "restorations": kinds.get("service_restored", 0),
         "blacklistings": kinds.get("target_blacklisted", 0),
         "reconsolidations": kinds.get("reconsolidation_triggered", 0),
+        "placement_decisions": kinds.get("placement_decided", 0),
+        "migration_decisions": kinds.get("migration_decided", 0),
+        "reconsolidation_decisions": kinds.get("reconsolidation_decided", 0),
+        "replan_decisions": kinds.get("replan_decided", 0),
+        "decisions_dropped_total": dropped,
     }

@@ -22,15 +22,19 @@ from repro.telemetry import (
     EventBus,
     IntervalSnapshot,
     MigrationCompleted,
+    MigrationDecided,
     MigrationFailed,
     MigrationStarted,
     NullSink,
+    PlacementDecided,
     PMCrashed,
     PMRepaired,
+    ReconsolidationDecided,
     ReconsolidationTriggered,
     RefitCompleted,
     RefitRejected,
     ReplanCommitted,
+    ReplanDecided,
     ReplanRolledBack,
     ReplanStarted,
     RingBufferSink,
@@ -93,6 +97,28 @@ SAMPLES = [
     ReplanRolledBack(time=92, fingerprint="ab12cd34ef56",
                      baseline_cvr=0.01, post_cvr=0.2, restored_time=92,
                      parity=True),
+    PlacementDecided(time=PRE_RUN, decision_id=0, vm_id=3, placer="QUEUE",
+                     chosen_pm=1, context="batch", p_on=0.2, p_off=0.4,
+                     table_fingerprint="7a74bbf2cfec", cache_hit=True,
+                     score_kind="reservation_headroom",
+                     cand_pms=(0, 1, 2), cand_scores=(-1.5, 3.0, 3.0),
+                     cand_verdicts=("cvr_threshold", "chosen", "feasible"),
+                     dropped_candidates=4, total_pms=7),
+    MigrationDecided(time=16, decision_id=5, vm_id=3, source_pm=1,
+                     chosen_pm=2, policy="StandardPolicy", cause="overload",
+                     cand_pms=(0, 1, 2),
+                     cand_scores=(-56.7, 0.0, 12.4),
+                     cand_verdicts=("capacity", "source_pm", "chosen"),
+                     dropped_candidates=0, total_pms=3),
+    ReconsolidationDecided(time=50, decision_id=9, cause="requested",
+                           placer="QUEUE", planned_moves=5, executed_moves=3,
+                           move_vms=(1, 4, 7), move_sources=(0, 2, 2),
+                           move_targets=(3, 3, 0), dropped_moves=0),
+    ReplanDecided(time=92, decision_id=10, cause="drift",
+                  fingerprint="ab12cd34ef56", drift_detections=3,
+                  drift_pms=(1, 4), alert_streak=0,
+                  active_alerts=("cvr_burn",), baseline_cvr=0.01,
+                  budget=24, deadline=112),
 ]
 
 

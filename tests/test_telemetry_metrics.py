@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -77,6 +78,38 @@ class TestHistogram:
             h.observe(v)
         assert h.sum == pytest.approx(5.0)
         assert h.mean == pytest.approx(5.0 / 3)
+
+    def test_empty_percentile_is_nan(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert math.isnan(h.percentile(q))
+
+    def test_nan_only_observations_yield_nan_not_inf(self):
+        # NaN comparisons are all False, so observations never establish a
+        # finite min/max; the percentile must admit it knows nothing
+        # instead of reporting the +/-inf sentinels.
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(float("nan"))
+        assert h.count == 1
+        assert math.isnan(h.percentile(0.5))
+
+    def test_to_dict_is_json_safe_with_nan_observations(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(float("nan"))
+        d = h.to_dict()
+        # json.dumps would emit bare NaN (invalid JSON) for these
+        assert d["sum"] is None
+        assert d["min"] is None and d["max"] is None
+        assert d["mean"] is None
+        assert d["p50"] is None and d["p90"] is None and d["p99"] is None
+        json.loads(json.dumps(d))  # round-trips as strict JSON
+
+    def test_to_dict_unchanged_for_finite_observations(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(0.5)
+        d = h.to_dict()
+        assert d["sum"] == pytest.approx(0.5)
+        assert d["p50"] == pytest.approx(0.5)
 
 
 class TestExporters:
