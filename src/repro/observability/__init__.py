@@ -59,6 +59,7 @@ from repro.observability.slo import (
     SLOEngine,
     SLORule,
     default_rules,
+    default_serving_rules,
     load_rules,
 )
 
@@ -73,6 +74,7 @@ __all__ = [
     "ActiveAlert",
     "AlertSpan",
     "default_rules",
+    "default_serving_rules",
     "load_rules",
     "DriftDetector",
     "PMDriftState",

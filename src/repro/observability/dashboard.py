@@ -241,6 +241,23 @@ def render_frame(obs: Observatory, *, title: str = "run observatory",
         lines.append(_spark_row(label, rec.charts[chart].series()[1], fmt))
     lines.append(_rule())
 
+    # request-level serving (only when the serving plane emitted data)
+    if rec.serving_seen:
+        lines.append(
+            f"SERVING: p50 {summary['latency_p50']:.0f} / "
+            f"p99 {summary['latency_p99']:.0f} intervals   "
+            f"loss(win) {summary['loss_rate_window']:.4f}   "
+            f"P(T>t)(win) {summary['sla_violation_window']:.4f}   "
+            f"backlog {summary['backlog']:.0f}")
+        for label, chart, fmt in (
+            ("latency p50", "latency_p50", ".0f"),
+            ("latency p99", "latency_p99", ".0f"),
+            ("loss rate", "loss_rate", ".4f"),
+            ("backlog", "backlog", ".0f"),
+        ):
+            lines.append(_spark_row(label, rec.charts[chart].series()[1], fmt))
+        lines.append(_rule())
+
     # alerts
     if obs.slo.active:
         lines.append("ALERTS FIRING:")

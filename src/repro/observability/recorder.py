@@ -33,13 +33,14 @@ from repro.telemetry.events import (
     MigrationCompleted,
     PMCrashed,
     PMRepaired,
+    ServingSnapshot,
     TelemetryEvent,
 )
 
 __all__ = ["PMState", "TimeSeriesRecorder"]
 
 #: burn metrics :meth:`TimeSeriesRecorder.burn` understands
-BURN_METRICS = ("cvr", "migration_churn")
+BURN_METRICS = ("cvr", "migration_churn", "latency_sla", "request_loss")
 
 
 class PMState:
@@ -95,11 +96,24 @@ class TimeSeriesRecorder:
         self.migrations = RollingWindow(window)
         #: PMs whose load exceeded capacity per the snapshot
         self.overloaded = RollingWindow(window)
+        # --- request-level serving windows (all-zero until a
+        #     ServingSnapshot ever arrives; see serving_seen) ---
+        #: requests arriving each interval
+        self.req_arrivals = RollingWindow(window)
+        #: requests completed each interval
+        self.req_completions = RollingWindow(window)
+        #: completions slower than the SLA threshold each interval
+        self.req_slow = RollingWindow(window)
+        #: requests lost each interval (queue-full + tier-reject + DLQ)
+        self.req_lost = RollingWindow(window)
+        #: whether any serving telemetry has been ingested
+        self.serving_seen = False
         # --- chart series ---
         self.charts: dict[str, TieredSeries] = {
             name: TieredSeries(raw=chart_points)
             for name in ("utilization", "on_fraction", "on_fraction_expected",
-                         "pms_on", "migrations", "overloaded", "violations")
+                         "pms_on", "migrations", "overloaded", "violations",
+                         "latency_p50", "latency_p99", "loss_rate", "backlog")
         }
         # --- per-PM state ---
         self.pms: dict[int, PMState] = {}
@@ -112,6 +126,7 @@ class TimeSeriesRecorder:
         self._pending_violations: dict[int, list[CapacityViolation]] = \
             defaultdict(list)
         self._pending_migrations: dict[int, int] = defaultdict(int)
+        self._pending_serving: dict[int, ServingSnapshot] = {}
 
     # ----------------------------------------------------------------- #
     # ingestion
@@ -125,6 +140,8 @@ class TimeSeriesRecorder:
             self._pending_violations[event.time].append(event)
         elif isinstance(event, MigrationCompleted):
             self._pending_migrations[event.time] += 1
+        elif isinstance(event, ServingSnapshot):
+            self._pending_serving[event.time] = event
         elif isinstance(event, PMCrashed):
             state = self._pm(event.pm_id)
             state.alive = False
@@ -152,6 +169,10 @@ class TimeSeriesRecorder:
         stale = [k for k in self._pending_migrations if k < t]
         for k in stale:
             del self._pending_migrations[k]
+        serving = self._pending_serving.pop(t, None)
+        stale = [k for k in self._pending_serving if k < t]
+        for k in stale:
+            del self._pending_serving[k]
 
         violated_pms = {v.pm_id for v in violations}
         n_on = len(snap.pm_ids)
@@ -199,6 +220,28 @@ class TimeSeriesRecorder:
         self.charts["overloaded"].push(t, snap.overloaded)
         self.charts["violations"].push(t, len(violated_pms))
 
+        # serving plane: the rolling windows stay in lockstep with ticks
+        # (zero-filled when the plane is disabled) so burn-window lookbacks
+        # always span the same intervals as the fleet windows
+        if serving is not None:
+            self.serving_seen = True
+            lost = serving.lost_queue + serving.lost_tier + serving.dlq
+            self.req_arrivals.push(serving.arrivals)
+            self.req_completions.push(serving.completions)
+            self.req_slow.push(serving.slow)
+            self.req_lost.push(lost)
+            self.charts["latency_p50"].push(t, serving.p50)
+            self.charts["latency_p99"].push(t, serving.p99)
+            self.charts["loss_rate"].push(
+                t, lost / serving.arrivals if serving.arrivals else 0.0)
+            self.charts["backlog"].push(
+                t, serving.backlog + serving.tier_backlog)
+        else:
+            self.req_arrivals.push(0)
+            self.req_completions.push(0)
+            self.req_slow.push(0)
+            self.req_lost.push(0)
+
         self.ticks += 1
         self.last_time = t
         self.last_snapshot = snap
@@ -222,12 +265,30 @@ class TimeSeriesRecorder:
         ``"migration_churn"``
             Completed migrations per powered-on PM-interval, relative to
             the tolerated migration rate (``budget``).
+        ``"latency_sla"``
+            Fraction of completions slower than the serving SLA threshold
+            — the empirical ``P(T_S > t)`` — relative to the tolerated
+            tail fraction (``budget``).
+        ``"request_loss"``
+            Requests lost (queue-full blocking, tier back-pressure, DLQ)
+            per arriving request, relative to the tolerated loss rate
+            (``budget``).
         """
         if metric not in BURN_METRICS:
             raise ValueError(
                 f"unknown burn metric {metric!r}; known: {BURN_METRICS}")
         if budget <= 0:
             raise ValueError(f"budget must be > 0, got {budget}")
+        if metric == "latency_sla":
+            completions = self.req_completions.sum_last(window)
+            if completions <= 0:
+                return 0.0
+            return (self.req_slow.sum_last(window) / completions) / budget
+        if metric == "request_loss":
+            arrivals = self.req_arrivals.sum_last(window)
+            if arrivals <= 0:
+                return 0.0
+            return (self.req_lost.sum_last(window) / arrivals) / budget
         pm_intervals = self.on_pms.sum_last(window)
         if pm_intervals <= 0:
             return 0.0
@@ -254,9 +315,25 @@ class TimeSeriesRecorder:
         )
         return ranked[:n]
 
+    def loss_rate(self, window: int | None = None) -> float:
+        """Observed request-loss rate over the (last ``window``)."""
+        window = self.window if window is None else window
+        arrivals = self.req_arrivals.sum_last(window)
+        if arrivals <= 0:
+            return 0.0
+        return self.req_lost.sum_last(window) / arrivals
+
+    def sla_violation_fraction(self, window: int | None = None) -> float:
+        """Observed ``P(T_S > t)`` over the (last ``window``)."""
+        window = self.window if window is None else window
+        completions = self.req_completions.sum_last(window)
+        if completions <= 0:
+            return 0.0
+        return self.req_slow.sum_last(window) / completions
+
     def fleet_summary(self) -> dict[str, float]:
         """Headline numbers for the dashboard's summary panel."""
-        return {
+        summary = {
             "ticks": float(self.ticks),
             "time": float(self.last_time),
             "pms_on": self.on_pms.last,
@@ -267,3 +344,10 @@ class TimeSeriesRecorder:
             "migrations_window": self.migrations.sum,
             "violations_window": self.violated.sum,
         }
+        if self.serving_seen:
+            summary["latency_p50"] = self.charts["latency_p50"].last
+            summary["latency_p99"] = self.charts["latency_p99"].last
+            summary["loss_rate_window"] = self.loss_rate()
+            summary["sla_violation_window"] = self.sla_violation_fraction()
+            summary["backlog"] = self.charts["backlog"].last
+        return summary

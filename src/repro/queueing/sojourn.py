@@ -1,0 +1,105 @@
+"""Sojourn-time distributions for batch-FIFO discrete-time queues.
+
+The serving plane (:mod:`repro.serving`) measures end-to-end sojourns
+empirically; this module supplies the matching *analytic* side (the
+formulary in ``docs/THEORY.md`` §11–12):
+
+- the distribution of the sojourn time ``T_S`` of a request that arrives
+  to find ``j`` requests already queued in a FIFO served ``c`` per
+  interval — it completes in interval ``ceil((j + 1) / c)`` after arrival
+  — folded over an arrival-time queue-length pmf;
+- the SLA tail ``P(T_S > t)`` and mean sojourn implied by that pmf;
+- Kingman's heavy-traffic approximation of mean waiting time from the
+  arrival/service variability coefficients, which
+  :func:`repro.workload.estimation.fit_cs2_from_percentiles` estimates
+  from observed latency percentiles.
+
+All times are in intervals, matching the simulator's clock and the
+``latency = t - arrival + 1`` convention of
+:meth:`repro.serving.queue.VMQueue.serve`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "sojourn_distribution",
+    "sojourn_tail",
+    "mean_sojourn",
+    "kingman_waiting_time",
+]
+
+
+def _queue_pmf(queue_pmf) -> np.ndarray:
+    pmf = np.asarray(queue_pmf, dtype=float)
+    if pmf.ndim != 1 or pmf.size == 0:
+        raise ValueError("queue_pmf must be a non-empty 1-D probability "
+                         "vector over queue lengths 0..K")
+    if np.any(pmf < 0) or not np.isclose(pmf.sum(), 1.0):
+        raise ValueError("queue_pmf must be non-negative and sum to 1")
+    return pmf
+
+
+def sojourn_distribution(queue_pmf, capacity: int) -> np.ndarray:
+    """Sojourn-time pmf of an admitted request under batch-FIFO service.
+
+    ``queue_pmf[j]`` is the probability an arriving (and admitted) request
+    finds ``j`` requests already waiting; the server completes ``capacity``
+    requests per interval in FIFO order, so that request's sojourn is
+    ``ceil((j + 1) / capacity)`` intervals (position ``j + 1`` in the
+    queue).  Returns ``pmf`` with ``pmf[s]`` = P(T_S = s) for
+    ``s = 0 .. ceil(K + 1 / capacity)``; ``pmf[0]`` is always 0 (service
+    takes at least the arrival interval itself — the simulator's
+    ``latency >= 1`` convention).
+    """
+    pmf = _queue_pmf(queue_pmf)
+    capacity = check_integer(capacity, "capacity", minimum=1)
+    max_s = -(-pmf.size // capacity)  # ceil(K + 1 / c), K = size - 1
+    out = np.zeros(max_s + 1)
+    for j, p in enumerate(pmf):
+        s = -(-(j + 1) // capacity)
+        out[s] += p
+    return out
+
+
+def sojourn_tail(queue_pmf, capacity: int, t: int) -> float:
+    """Analytic SLA tail ``P(T_S > t)`` for an admitted request.
+
+    The theory-side counterpart of
+    :meth:`repro.serving.queue.LatencyHistogram.tail_probability`.
+    """
+    t = check_integer(t, "t", minimum=0)
+    pmf = sojourn_distribution(queue_pmf, capacity)
+    if t >= pmf.size - 1:
+        return 0.0
+    return float(pmf[t + 1:].sum())
+
+
+def mean_sojourn(queue_pmf, capacity: int) -> float:
+    """Mean sojourn ``E[T_S]`` implied by the arrival-time queue pmf."""
+    pmf = sojourn_distribution(queue_pmf, capacity)
+    return float(np.arange(pmf.size) @ pmf)
+
+
+def kingman_waiting_time(rho: float, ca2: float, cs2: float,
+                         mean_service: float) -> float:
+    """Kingman's G/G/1 heavy-traffic mean waiting-time approximation.
+
+    ``E[W] ≈ rho / (1 - rho) * (Ca² + Cs²) / 2 * E[S]`` where ``rho`` is
+    the utilization, ``Ca²``/``Cs²`` the squared coefficients of variation
+    of inter-arrival and service times, and ``E[S]`` the mean service
+    time.  ``Cs²`` can be estimated from observed latency percentiles via
+    :func:`repro.workload.estimation.fit_cs2_from_percentiles`.
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"rho must be in [0, 1), got {rho}")
+    if ca2 < 0 or cs2 < 0:
+        raise ValueError(
+            f"squared variation coefficients must be >= 0, got "
+            f"ca2={ca2}, cs2={cs2}")
+    if mean_service <= 0:
+        raise ValueError(f"mean_service must be > 0, got {mean_service}")
+    return rho / (1.0 - rho) * (ca2 + cs2) / 2.0 * mean_service

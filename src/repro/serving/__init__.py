@@ -1,0 +1,31 @@
+"""repro.serving — the request-level serving plane.
+
+Closes the gap between the paper's capacity-violation metric and the
+latency an operator actually buys (see ``docs/SERVING.md``):
+
+- :mod:`repro.serving.queue` — per-VM finite-capacity FIFO queues
+  (batch-exact integer state), the fleet latency histogram with exact
+  percentiles and the empirical ``P(T_S > t)`` SLA tail, and the
+  degradation/thrash service-capacity rule;
+- :mod:`repro.serving.leveling` — the queue-based load-leveling tier:
+  durable bounded buffer, paced drain, bounded retries, poison → DLQ,
+  idempotency-key dedupe;
+- :mod:`repro.serving.layer` — the per-interval :class:`ServingLayer` a
+  scenario drives (``Scenario(..., serving=True)``), its
+  :class:`ServingReport`, and the shared config defaults.
+"""
+
+from repro.serving.layer import SERVING_DEFAULTS, ServingLayer, ServingReport
+from repro.serving.leveling import LoadLevelingTier, Request
+from repro.serving.queue import LatencyHistogram, VMQueue, service_capacity
+
+__all__ = [
+    "SERVING_DEFAULTS",
+    "ServingLayer",
+    "ServingReport",
+    "LoadLevelingTier",
+    "Request",
+    "LatencyHistogram",
+    "VMQueue",
+    "service_capacity",
+]

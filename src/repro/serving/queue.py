@@ -1,0 +1,260 @@
+"""Per-VM finite-capacity request queues and the latency histogram.
+
+The request-level serving model (see ``docs/SERVING.md``) gives every VM a
+finite-capacity FIFO: requests arrive per interval, wait in the queue, and
+are served in batches of up to the VM's per-interval service capacity.  A
+request that arrives when the queue is full is *lost* — the request-level
+face of the paper's Geom/Geom/K blocking semantics
+(:class:`repro.queueing.geom_geom_k.FiniteSourceGeomGeomK`).
+
+Queued work is stored as ``[arrival_interval, count]`` batches, not
+individual request objects, so per-interval cost is proportional to the
+number of *intervals* with backlog rather than the number of requests —
+and the state is exact integers, which is what makes the scalar and
+vectorized tick paths agree bit-for-bit and checkpoints round-trip
+losslessly.
+
+End-to-end sojourn times (in intervals, arrival to completion inclusive)
+are folded into a :class:`LatencyHistogram` — a bounded integer histogram
+whose percentiles are *exact* order statistics over the recorded
+completions, so p50/p95/p99 and the empirical ``P(T_S > t)`` SLA tail are
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.utils.validation import check_integer
+
+__all__ = ["LatencyHistogram", "VMQueue", "service_capacity"]
+
+
+class LatencyHistogram:
+    """Bounded integer histogram of end-to-end sojourn times.
+
+    Latencies are whole intervals, minimum 1 (a request served in its
+    arrival interval took one interval).  Values above ``max_latency`` are
+    clamped into the top bucket, so memory is bounded regardless of how
+    pathological a run gets; the clamp count is visible via
+    :attr:`overflow`.
+
+    Parameters
+    ----------
+    max_latency:
+        Largest distinguishable sojourn, in intervals.
+    """
+
+    __slots__ = ("max_latency", "counts", "total", "overflow", "_sum")
+
+    def __init__(self, max_latency: int = 512):
+        self.max_latency = check_integer(max_latency, "max_latency", minimum=1)
+        #: ``counts[v]`` = completions with sojourn exactly ``v`` intervals
+        self.counts = [0] * (self.max_latency + 1)
+        self.total = 0
+        #: completions clamped into the ``max_latency`` bucket
+        self.overflow = 0
+        self._sum = 0
+
+    def record(self, latency: int, n: int = 1) -> None:
+        """Record ``n`` completions with the given sojourn (>= 1)."""
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1 interval, got {latency}")
+        if n <= 0:
+            return
+        self._sum += latency * n
+        if latency > self.max_latency:
+            self.overflow += n
+            latency = self.max_latency
+        self.counts[latency] += n
+        self.total += n
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-quantile of the recorded sojourns (``q`` in [0, 1]).
+
+        Returns the smallest latency ``v`` whose cumulative count reaches
+        ``q * total`` — the order statistic, not an interpolation — or NaN
+        when nothing has completed yet.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.total == 0:
+            return float("nan")
+        target = q * self.total
+        cum = 0
+        for v in range(1, self.max_latency + 1):
+            cum += self.counts[v]
+            if cum >= target:
+                return float(v)
+        return float(self.max_latency)  # pragma: no cover - cum reaches total
+
+    def tail_probability(self, t: int) -> float:
+        """Empirical ``P(T_S > t)``: fraction of completions slower than
+        ``t`` intervals (the SLA metric; 0.0 before any completion)."""
+        t = check_integer(t, "t", minimum=0)
+        if self.total == 0:
+            return 0.0
+        slow = sum(self.counts[min(t, self.max_latency) + 1:])
+        return slow / self.total
+
+    @property
+    def mean(self) -> float:
+        """Mean sojourn over all completions (NaN when empty).
+
+        Uses the *unclamped* sum, so the mean stays honest even when some
+        completions landed in the overflow bucket.
+        """
+        if self.total == 0:
+            return float("nan")
+        return self._sum / self.total
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same ``max_latency``) into this one."""
+        if other.max_latency != self.max_latency:
+            raise ValueError(
+                f"cannot merge histograms with max_latency "
+                f"{other.max_latency} into {self.max_latency}")
+        for v in range(1, self.max_latency + 1):
+            self.counts[v] += other.counts[v]
+        self.total += other.total
+        self.overflow += other.overflow
+        self._sum += other._sum
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot (counts stored sparsely)."""
+        return {
+            "max_latency": self.max_latency,
+            "counts": {str(v): c for v, c in enumerate(self.counts) if c},
+            "total": self.total,
+            "overflow": self.overflow,
+            "sum": self._sum,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite from a :meth:`capture_state` snapshot."""
+        if int(state["max_latency"]) != self.max_latency:
+            raise ValueError(
+                f"checkpoint histogram has max_latency "
+                f"{state['max_latency']} but this one has {self.max_latency}")
+        self.counts = [0] * (self.max_latency + 1)
+        for v, c in state["counts"].items():
+            self.counts[int(v)] = int(c)
+        self.total = int(state["total"])
+        self.overflow = int(state["overflow"])
+        self._sum = int(state["sum"])
+
+
+class VMQueue:
+    """One VM's finite-capacity FIFO of ``[arrival_interval, count]`` batches.
+
+    Service order is strictly FIFO; within an interval the service
+    discipline is *serve-then-admit*: up to ``capacity`` queued requests
+    complete first, then new arrivals are admitted into the freed space.
+    A request admitted at interval ``a`` and served at interval ``t`` has
+    sojourn ``t - a + 1`` (same-interval service = 1 interval).
+    """
+
+    __slots__ = ("max_depth", "depth", "batches")
+
+    def __init__(self, max_depth: int):
+        self.max_depth = check_integer(max_depth, "max_depth", minimum=1)
+        self.depth = 0
+        self.batches: deque[list[int]] = deque()
+
+    @property
+    def free(self) -> int:
+        """Admission slots left this instant."""
+        return self.max_depth - self.depth
+
+    def admit(self, t: int, count: int) -> int:
+        """Admit up to ``count`` requests arriving at interval ``t``.
+
+        Returns the number admitted; the caller accounts the rest as lost
+        (blocking — the Geom/Geom/K "no free window" outcome).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        admitted = min(count, self.free)
+        if admitted > 0:
+            if self.batches and self.batches[-1][0] == t:
+                self.batches[-1][1] += admitted
+            else:
+                self.batches.append([t, admitted])
+            self.depth += admitted
+        return admitted
+
+    def serve(self, t: int, capacity: int, histogram: LatencyHistogram,
+              sla_t: int) -> tuple[int, int]:
+        """Serve up to ``capacity`` requests at interval ``t``.
+
+        Pops FIFO batches, records each completion's sojourn in
+        ``histogram``, and returns ``(completions, slow)`` where ``slow``
+        counts completions with sojourn exceeding ``sla_t`` intervals.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        served = 0
+        slow = 0
+        budget = capacity
+        while budget > 0 and self.batches:
+            arrival, n = self.batches[0]
+            take = n if n <= budget else budget
+            latency = t - arrival + 1
+            histogram.record(latency, take)
+            if latency > sla_t:
+                slow += take
+            served += take
+            budget -= take
+            if take == n:
+                self.batches.popleft()
+            else:
+                self.batches[0][1] = n - take
+        self.depth -= served
+        return served, slow
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """JSON-safe snapshot of the pending batches."""
+        return {
+            "max_depth": self.max_depth,
+            "batches": [[int(a), int(n)] for a, n in self.batches],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite from a :meth:`capture_state` snapshot."""
+        if int(state["max_depth"]) != self.max_depth:
+            raise ValueError(
+                f"checkpoint queue has max_depth {state['max_depth']} but "
+                f"this queue has {self.max_depth}")
+        self.batches = deque([int(a), int(n)] for a, n in state["batches"])
+        self.depth = sum(n for _, n in self.batches)
+        if self.depth > self.max_depth:
+            raise ValueError(
+                f"checkpoint queue depth {self.depth} exceeds max_depth "
+                f"{self.max_depth}")
+
+
+def service_capacity(service_rate: float, *, violated: bool, thrashing: bool,
+                     degraded_factor: float, thrash_factor: float) -> int:
+    """Effective integer service capacity of one VM for one interval.
+
+    The nominal per-interval ``service_rate`` shrinks multiplicatively when
+    the host PM is capacity-violated (the consolidation-to-latency coupling:
+    a violated PM steals cycles from every hosted server) and when the VM's
+    own queue has grown past its thrash threshold (overload collapse).  The
+    float product is floored to an integer count; the same expression is
+    evaluated per-VM by the scalar tick path and elementwise by the
+    vectorized one, so both floor identical IEEE doubles.
+    """
+    factor = 1.0
+    if violated:
+        factor *= degraded_factor
+    if thrashing:
+        factor *= thrash_factor
+    return int(math.floor(service_rate * factor))

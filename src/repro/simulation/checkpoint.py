@@ -106,6 +106,8 @@ def _scenario_config(scenario: Scenario) -> tuple[dict, list[str]]:
                      if scenario.topology is not None else None),
         "reconsolidation": (dict(scenario.reconsolidation)
                             if scenario.reconsolidation is not None else None),
+        "serving": (dict(scenario.serving)
+                    if scenario.serving is not None else None),
     }
 
     fk = scenario.failure_kwargs
@@ -216,6 +218,8 @@ def _build_scenario(config: dict,
         tick_mode=config["tick_mode"],
         # .get: checkpoints written before the reconsolidation layer existed
         reconsolidation=config.get("reconsolidation"),
+        # .get: checkpoints written before the serving plane existed
+        serving=config.get("serving"),
     )
 
 

@@ -22,8 +22,9 @@ from repro.analysis.availability import availability_report
 from repro.analysis.fairness import fairness_report
 from repro.core.types import PMSpec, VMSpec
 from repro.placement.base import Placer
+from repro.serving import SERVING_DEFAULTS, ServingLayer, ServingReport
 from repro.simulation.costmodel import CostedScheduler, MigrationCostModel
-from repro.simulation.datacenter import Datacenter
+from repro.simulation.datacenter import _EPS, Datacenter
 from repro.simulation.energy import EnergyModel
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.failures import FailureInjector, FailureRecord
@@ -52,6 +53,8 @@ class ScenarioReport:
     migration_downtime_seconds: float | None = None
     failures: FailureRecord | None = None
     availability: dict[str, float] | None = None
+    #: request-level serving metrics (None when serving was off)
+    serving: ServingReport | None = None
     #: the telemetry context the run published into (None when untraced)
     telemetry: Telemetry | None = None
 
@@ -88,6 +91,8 @@ class ScenarioReport:
                 f"MTTR {mttr:.1f} intervals, "
                 f"blast radius max {self.availability.get('blast_max', 0.0):.0f} VMs"
             )
+        if self.serving is not None:
+            lines.append(self.serving.summary())
         if self.telemetry is not None:
             lines.append(self.telemetry.digest())
         return "\n".join(lines)
@@ -158,6 +163,14 @@ class Scenario:
         placer) to schedule with periodic/on-demand global replans instead
         of the plain reactive scheduler.  Not combinable with
         ``cost_model``.
+    serving:
+        ``True`` or a dict of :class:`~repro.serving.ServingLayer` knobs
+        (``base_rate``/``peak_rate``/``service_rate``, queue depth and
+        thrash/degradation factors, ``sla_t``, and ``tier`` plus its
+        buffer/drain/retry knobs) to run the request-level serving plane:
+        per-VM finite queues driven by the ON/OFF state, end-to-end
+        latency percentiles and ``P(T_S > t)``, optionally behind the
+        load-leveling tier.  See ``docs/SERVING.md``.
     """
 
     #: reconsolidation-dict defaults (also its JSON-checkpoint schema)
@@ -168,6 +181,9 @@ class Scenario:
         "rho": 0.01,
         "d": 16,
     }
+
+    #: serving-dict defaults (also its JSON-checkpoint schema)
+    SERVING_DEFAULTS = SERVING_DEFAULTS
 
     def __init__(
         self,
@@ -190,6 +206,7 @@ class Scenario:
         observatory: Any | None = None,
         tick_mode: str = "vectorized",
         reconsolidation: bool | dict[str, Any] | None = None,
+        serving: bool | dict[str, Any] | None = None,
     ):
         if not vms or not pms:
             raise ValueError("need at least one VM and one PM")
@@ -253,6 +270,19 @@ class Scenario:
                 "reconsolidation and cost_model cannot be combined "
                 "(CostedScheduler has no replan layer)"
             )
+        self.serving: dict[str, Any] | None
+        if serving is True:
+            self.serving = dict(self.SERVING_DEFAULTS)
+        elif serving:
+            unknown = set(serving) - set(self.SERVING_DEFAULTS)
+            if unknown:
+                raise ValueError(
+                    f"unknown serving option(s): {sorted(unknown)}; "
+                    f"known: {sorted(self.SERVING_DEFAULTS)}"
+                )
+            self.serving = {**self.SERVING_DEFAULTS, **dict(serving)}
+        else:
+            self.serving = None
 
     def start(self, *, seed: SeedLike = None, on_tick: Any | None = None,
               _placement: Any | None = None) -> "ScenarioRun":
@@ -275,7 +305,14 @@ class Scenario:
                 unsubscribe = self.observatory.attach(tel)
             else:
                 unsubscribe = tel.events.subscribe(self.observatory.observe)
-        rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
+        # SeedSequence.spawn gives an identical child prefix regardless of
+        # n, so enabling serving adds a 4th stream without perturbing the
+        # three streams existing runs consume — byte-parity is preserved.
+        if self.serving is not None:
+            rng_dc, rng_fail, rng_sched, rng_serving = spawn_children(seed, 4)
+        else:
+            rng_dc, rng_fail, rng_sched = spawn_children(seed, 3)
+            rng_serving = None
         if _placement is not None:
             placement = _placement
         else:
@@ -331,11 +368,16 @@ class Scenario:
                                          **scheduler_kwargs)
         monitor = Monitor(dc.n_pms, n_vms=dc.n_vms, telemetry=tel,
                           snapshot_every=self.snapshot_every)
+        serving_layer = (
+            ServingLayer(dc.n_vms, seed=rng_serving, mode=self.tick_mode,
+                         telemetry=tel, **self.serving)
+            if self.serving is not None else None
+        )
         engine = SimulationEngine()
         run = ScenarioRun(
             scenario=self, telemetry=tel, datacenter=dc, injector=injector,
             scheduler=scheduler, monitor=monitor, engine=engine,
-            unsubscribe=unsubscribe,
+            serving=serving_layer, unsubscribe=unsubscribe,
         )
         engine.add_hook("tick", run._tick)
         if on_tick is not None:
@@ -382,13 +424,16 @@ class ScenarioRun:
     def __init__(self, *, scenario: Scenario, telemetry: Telemetry | None,
                  datacenter: Datacenter, injector: FailureInjector | None,
                  scheduler: DynamicScheduler, monitor: Monitor,
-                 engine: SimulationEngine, unsubscribe: Any | None = None):
+                 engine: SimulationEngine,
+                 serving: ServingLayer | None = None,
+                 unsubscribe: Any | None = None):
         self.scenario = scenario
         self.telemetry = telemetry
         self.datacenter = datacenter
         self.injector = injector
         self.scheduler = scheduler
         self.monitor = monitor
+        self.serving = serving
         self.engine = engine
         self._unsubscribe = unsubscribe
         self._energy_total = 0.0
@@ -417,6 +462,13 @@ class ScenarioRun:
                     injector.step(t)
             with timed("phase.scheduler"):
                 events = scheduler.resolve_overloads(t)
+            if self.serving is not None:
+                with timed("phase.serving"):
+                    loads = dc.pm_loads()
+                    violated = loads > dc.pm_capacities() + _EPS
+                    self.serving.step(
+                        t, dc.on_states(),
+                        violated[dc.placement.assignment])
             with timed("phase.monitor"):
                 self.monitor.record_interval(
                     dc, events,
@@ -477,6 +529,8 @@ class ScenarioRun:
                 availability_report(record, injector.record)
                 if injector is not None else None
             ),
+            serving=(self.serving.report()
+                     if self.serving is not None else None),
             telemetry=self.telemetry,
         )
 
@@ -494,6 +548,8 @@ class ScenarioRun:
             "monitor": self.monitor.capture_state(),
             "injector": (self.injector.capture_state()
                          if self.injector is not None else None),
+            "serving": (self.serving.capture_state()
+                        if self.serving is not None else None),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -503,6 +559,14 @@ class ScenarioRun:
                 "checkpoint failure-injection configuration does not match "
                 "this scenario (one has an injector, the other does not)"
             )
+        # pre-serving checkpoints carry no "serving" key: only reject a
+        # mismatch when the snapshot actually recorded a serving plane
+        serving_state = state.get("serving")
+        if (serving_state is not None) != (self.serving is not None):
+            raise ValueError(
+                "checkpoint serving configuration does not match this "
+                "scenario (one has a serving layer, the other does not)"
+            )
         self.engine.time = int(state["time"])
         self._energy_total = float(state["energy_total"])
         self._initial_pms_used = int(state["initial_pms_used"])
@@ -511,6 +575,8 @@ class ScenarioRun:
         self.monitor.restore_state(state["monitor"])
         if self.injector is not None:
             self.injector.restore_state(state["injector"])
+        if self.serving is not None:
+            self.serving.restore_state(serving_state)
 
 
 def compare_scenarios(

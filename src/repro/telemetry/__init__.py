@@ -52,6 +52,7 @@ from repro.telemetry.events import (
     PlacementDecided,
     PMCrashed,
     PMRepaired,
+    PoisonQuarantined,
     ReconsolidationDecided,
     ReconsolidationTriggered,
     RefitCompleted,
@@ -62,6 +63,7 @@ from repro.telemetry.events import (
     ReplanStarted,
     RunResumed,
     ServiceRestored,
+    ServingSnapshot,
     TargetBlacklisted,
     TelemetryEvent,
     VMPlaced,
@@ -119,6 +121,7 @@ __all__ = [
     "PlacementDecided",
     "PMCrashed",
     "PMRepaired",
+    "PoisonQuarantined",
     "ReconsolidationDecided",
     "ReconsolidationTriggered",
     "RefitCompleted",
@@ -129,6 +132,7 @@ __all__ = [
     "ReplanStarted",
     "RunResumed",
     "ServiceRestored",
+    "ServingSnapshot",
     "TargetBlacklisted",
     "TelemetryEvent",
     "VMPlaced",

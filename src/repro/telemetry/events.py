@@ -678,3 +678,57 @@ class ReplanRolledBack(TelemetryEvent):
     post_cvr: float = 0.0
     restored_time: int = 0
     parity: bool = True
+
+
+# --------------------------------------------------------------------- #
+# request-level serving (see :mod:`repro.serving` and docs/SERVING.md)
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class ServingSnapshot(TelemetryEvent):
+    """One interval's fleet-wide request-serving sample.
+
+    Emitted by :class:`repro.serving.ServingLayer` each interval, right
+    before the :class:`IntervalSnapshot` for the same tick — the recorder
+    buffers it and folds both into one finalized interval.  Counts are
+    per-interval; the latency percentiles are cumulative over the run so
+    far (exact order statistics from the serving layer's
+    :class:`repro.serving.LatencyHistogram`).
+    """
+
+    kind: ClassVar[str] = "serving_snapshot"
+
+    #: requests produced this interval (before any admission control)
+    arrivals: int = 0
+    #: requests completed (served) this interval
+    completions: int = 0
+    #: completions slower than the configured SLA threshold this interval
+    slow: int = 0
+    #: requests rejected by full VM queues this interval
+    lost_queue: int = 0
+    #: requests rejected by the full load-leveling buffer this interval
+    lost_tier: int = 0
+    #: requests dead-lettered by the tier this interval
+    dlq: int = 0
+    #: requests waiting in VM queues at interval end
+    backlog: int = 0
+    #: requests levelled in the tier buffer at interval end
+    tier_backlog: int = 0
+    #: cumulative end-to-end latency percentiles, in intervals (NaN-free:
+    #: 0.0 until the first completion)
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+
+
+@register
+@dataclass(frozen=True)
+class PoisonQuarantined(TelemetryEvent):
+    """A tracked message exhausted its delivery attempts and was DLQ'd."""
+
+    kind: ClassVar[str] = "poison_quarantined"
+
+    vm_id: int = -1
+    key: str = ""
+    attempts: int = 0
+    poison: bool = False

@@ -32,9 +32,12 @@ from repro.workload.stats import (
     peak_to_mean_ratio,
 )
 from repro.workload.estimation import (
+    Z99,
+    LatencyPercentileFit,
     OnOffFit,
     classify_states,
     estimate_switch_probabilities,
+    fit_cs2_from_percentiles,
     fit_fleet,
     fit_onoff,
     two_means_split,
@@ -71,7 +74,10 @@ __all__ = [
     "empirical_autocorrelation",
     "index_of_dispersion",
     "peak_to_mean_ratio",
+    "Z99",
+    "LatencyPercentileFit",
     "OnOffFit",
+    "fit_cs2_from_percentiles",
     "classify_states",
     "estimate_switch_probabilities",
     "fit_fleet",

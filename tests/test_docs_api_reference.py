@@ -79,7 +79,8 @@ def test_reference_is_parseable_and_substantial():
     sections = {mods for mods, _, _ in ENTRIES}
     flat = {m for mods in sections for m in mods}
     for expected in ("repro.core", "repro.perf", "repro.telemetry",
-                     "repro.observability", "repro.simulation"):
+                     "repro.observability", "repro.simulation",
+                     "repro.serving"):
         assert expected in flat, f"section for {expected} missing"
 
 

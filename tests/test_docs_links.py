@@ -1,0 +1,120 @@
+"""Docs link checker: every relative link and anchor must resolve.
+
+Scans README.md plus every markdown file under docs/ for markdown links.
+External links (http/https/mailto) are ignored; everything else must point
+at an existing file, and a ``#fragment`` must match a GitHub-style anchor
+generated from the target document's headings.  The CI ``docs-links`` step
+runs exactly this module, so a renamed heading or moved file fails the
+build with the offending link.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = sorted(
+    [REPO / "README.md"]
+    + list((REPO / "docs").glob("*.md"))
+    + [p for p in (REPO / "EXPERIMENTS.md",) if p.exists()]
+)
+
+# [text](target) — excluding images' src handled identically via ![...]
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = heading.strip()
+    # inline code/emphasis markers contribute their content only
+    text = text.replace("`", "").replace("*", "")
+    # markdown links in headings contribute their text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors of a markdown file, with duplicate suffixes."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_code = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        base = github_anchor(m.group(2))
+        n = seen.get(base, 0)
+        anchors.add(base if n == 0 else f"{base}-{n}")
+        seen[base] = n + 1
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (lineno, target) for every non-external link in the file."""
+    in_code = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for m in LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            yield lineno, target
+
+
+def collect_broken(path: Path) -> list[str]:
+    problems = []
+    for lineno, target in iter_links(path):
+        file_part, _, fragment = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            problems.append(
+                f"{path.relative_to(REPO)}:{lineno}: broken link "
+                f"target {target!r} (no such file)")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in anchors_of(dest):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken anchor "
+                    f"{target!r} (no heading with that slug in "
+                    f"{dest.relative_to(REPO)})")
+    return problems
+
+
+def test_doc_set_is_substantial():
+    """The checker must actually be looking at the documentation set."""
+    names = {p.name for p in DOCS}
+    assert "README.md" in names
+    assert "THEORY.md" in names
+    assert "SERVING.md" in names
+    assert len(DOCS) >= 8
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_and_anchors_resolve(path):
+    problems = collect_broken(path)
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_detects_broken_anchor(tmp_path):
+    """Self-test: the slug generator must match GitHub's on real cases."""
+    doc = tmp_path / "x.md"
+    doc.write_text("# Hello, World!\n## `code` & symbols\n## Hello, World!\n")
+    anchors = anchors_of(doc)
+    assert "hello-world" in anchors
+    assert "code--symbols" in anchors
+    assert "hello-world-1" in anchors  # duplicate heading gets a suffix

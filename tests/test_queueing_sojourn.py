@@ -1,0 +1,134 @@
+"""Sojourn-time formulary and the percentile-based Cs² estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    FiniteSourceGeomGeomK,
+    kingman_waiting_time,
+    mean_sojourn,
+    sojourn_distribution,
+    sojourn_tail,
+)
+from repro.workload import Z99, fit_cs2_from_percentiles
+
+
+class TestSojournDistribution:
+    def test_unit_capacity_sojourn_is_position(self):
+        """With c = 1, a request that finds j queued departs after j + 1."""
+        pmf = [0.5, 0.3, 0.2]
+        out = sojourn_distribution(pmf, 1)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(0.3)
+        assert out[3] == pytest.approx(0.2)
+
+    def test_batch_capacity_groups_positions(self):
+        """With c = 2, positions 1-2 depart in 1 interval, 3-4 in 2, ..."""
+        pmf = [0.25, 0.25, 0.25, 0.25]  # j = 0..3 -> positions 1..4
+        out = sojourn_distribution(pmf, 2)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(0.5)
+
+    def test_distribution_is_normalized(self):
+        model = FiniteSourceGeomGeomK(12, 0.1, 0.3)
+        pmf = model.stationary_distribution()
+        out = sojourn_distribution(pmf, 3)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_tail_consistent_with_distribution(self):
+        pmf = [0.5, 0.3, 0.2]
+        dist = sojourn_distribution(pmf, 1)
+        for t in range(5):
+            assert sojourn_tail(pmf, 1, t) == pytest.approx(
+                float(dist[t + 1:].sum()))
+        assert sojourn_tail(pmf, 1, 10) == 0.0
+
+    def test_mean_sojourn(self):
+        pmf = [0.5, 0.5]
+        # half the arrivals take 1 interval, half take 2
+        assert mean_sojourn(pmf, 1) == pytest.approx(1.5)
+        # with capacity 2 both depart in 1 interval
+        assert mean_sojourn(pmf, 2) == pytest.approx(1.0)
+
+    def test_capacity_speeds_up_stochastically(self):
+        model = FiniteSourceGeomGeomK(16, 0.1, 0.3)
+        pmf = model.stationary_distribution()
+        means = [mean_sojourn(pmf, c) for c in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(means, means[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            sojourn_distribution([0.5, 0.2], 1)
+        with pytest.raises(ValueError, match="non-negative"):
+            sojourn_distribution([1.5, -0.5], 1)
+        with pytest.raises(ValueError, match="capacity"):
+            sojourn_distribution([1.0], 0)
+
+
+class TestKingman:
+    def test_md1_like_limit(self):
+        """Deterministic service (Cs² = 0), Poisson arrivals (Ca² = 1):
+        Kingman reduces to rho / (1 - rho) * E[S] / 2 (the M/D/1 wait)."""
+        w = kingman_waiting_time(0.8, 1.0, 0.0, 2.0)
+        assert w == pytest.approx(0.8 / 0.2 * 0.5 * 2.0)
+
+    def test_scales_with_variability(self):
+        lo = kingman_waiting_time(0.7, 1.0, 0.5, 1.0)
+        hi = kingman_waiting_time(0.7, 1.0, 4.0, 1.0)
+        assert hi > lo
+        assert hi / lo == pytest.approx((1.0 + 4.0) / (1.0 + 0.5))
+
+    def test_explodes_toward_saturation(self):
+        assert kingman_waiting_time(0.99, 1.0, 1.0, 1.0) > \
+            kingman_waiting_time(0.9, 1.0, 1.0, 1.0) * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rho"):
+            kingman_waiting_time(1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="coefficients"):
+            kingman_waiting_time(0.5, -1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="mean_service"):
+            kingman_waiting_time(0.5, 1.0, 1.0, 0.0)
+
+
+class TestCs2FromPercentiles:
+    def test_recovers_known_lognormal(self):
+        """Percentiles of an exact lognormal recover sigma and Cs²."""
+        mu, sigma = 1.2, 0.6
+        p50 = float(np.exp(mu))
+        p99 = float(np.exp(mu + sigma * Z99))
+        fit = fit_cs2_from_percentiles(p50, p99)
+        assert fit.mu == pytest.approx(mu)
+        assert fit.sigma == pytest.approx(sigma)
+        assert fit.cs2 == pytest.approx(np.expm1(sigma * sigma))
+        assert fit.mean == pytest.approx(np.exp(mu + sigma * sigma / 2))
+
+    def test_degenerate_distribution_has_zero_variability(self):
+        fit = fit_cs2_from_percentiles(4.0, 4.0)
+        assert fit.sigma == 0.0
+        assert fit.cs2 == 0.0
+        assert fit.mean == pytest.approx(4.0)
+
+    def test_monte_carlo_cross_check(self):
+        rng = np.random.default_rng(5)
+        sample = rng.lognormal(mean=0.8, sigma=0.5, size=200_000)
+        p50, p99 = np.percentile(sample, [50, 99])
+        fit = fit_cs2_from_percentiles(float(p50), float(p99))
+        empirical_cs2 = float(sample.var() / sample.mean() ** 2)
+        assert fit.cs2 == pytest.approx(empirical_cs2, rel=0.05)
+
+    def test_feeds_kingman(self):
+        fit = fit_cs2_from_percentiles(2.0, 9.0)
+        w = kingman_waiting_time(0.8, 1.0, fit.cs2, fit.mean)
+        assert w > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p50"):
+            fit_cs2_from_percentiles(0.0, 1.0)
+        with pytest.raises(ValueError, match="p99"):
+            fit_cs2_from_percentiles(5.0, 4.0)
+        with pytest.raises(ValueError, match="z99"):
+            fit_cs2_from_percentiles(1.0, 2.0, z99=0.0)

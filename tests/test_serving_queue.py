@@ -1,0 +1,144 @@
+"""Per-VM queues, the latency histogram, and the capacity rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import LatencyHistogram, VMQueue, service_capacity
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        h = LatencyHistogram(16)
+        assert h.total == 0
+        assert h.percentile(0.5) != h.percentile(0.5)  # NaN
+        assert h.mean != h.mean  # NaN
+        assert h.tail_probability(3) == 0.0
+
+    def test_percentiles_are_exact_order_statistics(self):
+        h = LatencyHistogram(16)
+        for latency, n in ((1, 50), (2, 30), (5, 15), (9, 5)):
+            h.record(latency, n)
+        assert h.total == 100
+        assert h.percentile(0.50) == 1.0
+        assert h.percentile(0.80) == 2.0
+        assert h.percentile(0.95) == 5.0
+        assert h.percentile(0.99) == 9.0
+        assert h.percentile(1.00) == 9.0
+
+    def test_tail_probability(self):
+        h = LatencyHistogram(16)
+        h.record(2, 90)
+        h.record(10, 10)
+        assert h.tail_probability(2) == pytest.approx(0.10)
+        assert h.tail_probability(9) == pytest.approx(0.10)
+        assert h.tail_probability(10) == 0.0
+        assert h.tail_probability(0) == 1.0
+
+    def test_mean_uses_unclamped_sum(self):
+        h = LatencyHistogram(4)
+        h.record(2, 1)
+        h.record(100, 1)  # clamped into top bucket
+        assert h.overflow == 1
+        assert h.counts[4] == 1
+        assert h.mean == pytest.approx(51.0)
+
+    def test_record_validation(self):
+        h = LatencyHistogram(4)
+        with pytest.raises(ValueError, match="latency"):
+            h.record(0)
+        h.record(1, n=0)  # no-op
+        assert h.total == 0
+
+    def test_merge(self):
+        a, b = LatencyHistogram(8), LatencyHistogram(8)
+        a.record(1, 3)
+        b.record(5, 2)
+        a.merge(b)
+        assert a.total == 5
+        assert a.counts[5] == 2
+        with pytest.raises(ValueError, match="max_latency"):
+            a.merge(LatencyHistogram(16))
+
+    def test_capture_restore_round_trip(self):
+        h = LatencyHistogram(8)
+        h.record(3, 7)
+        h.record(20, 2)
+        state = h.capture_state()
+        h2 = LatencyHistogram(8)
+        h2.restore_state(state)
+        assert h2.capture_state() == state
+        assert h2.mean == h.mean
+        with pytest.raises(ValueError, match="max_latency"):
+            LatencyHistogram(4).restore_state(state)
+
+
+class TestVMQueue:
+    def test_admit_blocks_at_capacity(self):
+        q = VMQueue(10)
+        assert q.admit(0, 7) == 7
+        assert q.admit(0, 7) == 3  # only 3 slots left
+        assert q.depth == 10
+        assert q.free == 0
+        assert q.admit(1, 5) == 0
+
+    def test_fifo_service_and_sojourn(self):
+        q = VMQueue(100)
+        h = LatencyHistogram(16)
+        q.admit(0, 5)
+        q.admit(1, 5)
+        served, slow = q.serve(2, 7, h, sla_t=2)
+        assert served == 7
+        # the 5 requests from t=0 have sojourn 3, the 2 from t=1 sojourn 2
+        assert h.counts[3] == 5
+        assert h.counts[2] == 2
+        assert slow == 5  # sojourn 3 > sla_t 2
+        assert q.depth == 3
+
+    def test_same_interval_service_is_one_interval(self):
+        q = VMQueue(10)
+        h = LatencyHistogram(16)
+        q.admit(4, 3)
+        q.serve(4, 10, h, sla_t=8)
+        assert h.counts[1] == 3
+
+    def test_batches_merge_per_interval(self):
+        q = VMQueue(100)
+        q.admit(3, 2)
+        q.admit(3, 2)
+        assert len(q.batches) == 1
+        q.admit(4, 1)
+        assert len(q.batches) == 2
+
+    def test_capture_restore(self):
+        q = VMQueue(50)
+        q.admit(0, 10)
+        q.admit(2, 5)
+        state = q.capture_state()
+        q2 = VMQueue(50)
+        q2.restore_state(state)
+        assert q2.capture_state() == state
+        assert q2.depth == 15
+        with pytest.raises(ValueError, match="max_depth"):
+            VMQueue(10).restore_state(state)
+        bad = {"max_depth": 50, "batches": [[0, 60]]}
+        with pytest.raises(ValueError, match="exceeds"):
+            VMQueue(50).restore_state(bad)
+
+
+class TestServiceCapacity:
+    def test_nominal(self):
+        assert service_capacity(120.0, violated=False, thrashing=False,
+                                degraded_factor=0.7, thrash_factor=0.6) == 120
+
+    def test_degradations_compose_multiplicatively(self):
+        assert service_capacity(120.0, violated=True, thrashing=False,
+                                degraded_factor=0.7, thrash_factor=0.6) == 84
+        assert service_capacity(120.0, violated=False, thrashing=True,
+                                degraded_factor=0.7, thrash_factor=0.6) == 72
+        assert service_capacity(120.0, violated=True, thrashing=True,
+                                degraded_factor=0.7, thrash_factor=0.6) == 50
+
+    def test_floor_not_round(self):
+        assert service_capacity(99.9, violated=False, thrashing=False,
+                                degraded_factor=0.5, thrash_factor=0.5) == 99
