@@ -14,17 +14,22 @@ running ``max R_e``.
 
 from __future__ import annotations
 
-from typing import Sequence
+import hashlib
+import json
+from typing import Callable, Iterable, Sequence
 
-from repro.core.mapcal import BlockMapping, table_fingerprint
+from repro.core.mapcal import BlockMapping, mapcal_table, table_fingerprint
 from repro.core.queuing_ffd import QueuingFFD
 from repro.core.reservation import PMReservationState
 from repro.core.types import PMSpec, VMSpec
 from repro.placement.base import (
     REASON_CHOSEN,
     REASON_CVR_THRESHOLD,
+    REASON_DRAINING,
     REASON_FEASIBLE,
+    REASON_FLEET_FULL,
     REASON_VM_CAP,
+    AdmissionRejectedError,
     InsufficientCapacityError,
     PlacementExplainer,
 )
@@ -57,6 +62,9 @@ class OnlineConsolidator:
         self._states: list[PMReservationState] = []
         self._locations: dict[int, int] = {}  # vm_id -> pm index
         self._next_id = 0
+        #: recalibrate() calls that found the mapping unchanged (or had no
+        #: population to refit against) and deliberately did nothing
+        self.recalibrate_noops = 0
 
     # ------------------------------------------------------------------ #
     # state accessors
@@ -132,7 +140,8 @@ class OnlineConsolidator:
         return verdicts, scores
 
     def _record_decision(self, vm: VMSpec, vm_id: int, chosen: int, *,
-                         context: str, time: int) -> None:
+                         context: str, time: int,
+                         eligible: set[int] | None = None) -> None:
         """Emit one ``PlacementDecided`` for an online admission attempt."""
         tel = resolve(self.telemetry)
         if tel is None or not tel.events.enabled:
@@ -143,11 +152,68 @@ class OnlineConsolidator:
             table_fingerprint=table_fingerprint(self._mapping),
             score_kind="reservation_headroom")
         verdicts, scores = self._admission_row(vm)
+        if eligible is not None:
+            for i in range(len(verdicts)):
+                if i not in eligible:
+                    verdicts[i] = REASON_DRAINING
         if chosen >= 0:
             verdicts[chosen] = REASON_CHOSEN
         explainer.record(vm_id, chosen, verdicts, scores, time=time)
 
-    def admit(self, vm: VMSpec, *, time: int = PRE_RUN) -> tuple[int, int]:
+    def fleet_headroom(self, vm: VMSpec | None = None, *,
+                       eligible: Iterable[int] | None = None) -> dict:
+        """Actionable fleet summary stamped on admission rejections.
+
+        Counts eligible PMs, remaining VM slots under the per-PM cap ``d``,
+        and the largest single-PM capacity headroom; with a candidate ``vm``
+        it additionally splits the blocked PMs by veto layer (``d`` cap vs.
+        the Eq. (17) reservation test), so a rejection message says what it
+        would take to admit the VM, not just that it failed.
+        """
+        allowed = (range(len(self._states)) if eligible is None
+                   else sorted(set(int(i) for i in eligible)))
+        out: dict[str, object] = {
+            "pms": len(self._pms),
+            "hosted_vms": len(self._locations),
+        }
+        if self._mapping is None:
+            out["eligible_pms"] = (len(self._pms) if eligible is None
+                                   else len(list(allowed)))
+            return out
+        mapping = self._mapping
+        free_slots = 0
+        max_headroom = float("-inf")
+        vm_cap_blocked = cvr_blocked = 0
+        n_eligible = 0
+        for i in allowed:
+            state = self._states[i]
+            n_eligible += 1
+            free_slots += max(0, mapping.d - state.count)
+            max_headroom = max(max_headroom,
+                               state.spec.capacity - state.committed)
+            if vm is not None:
+                new_count = state.count + 1
+                if new_count > mapping.d:
+                    vm_cap_blocked += 1
+                else:
+                    blocks = int(mapping.table[new_count])
+                    need = (max(state.max_extra, vm.r_extra) * blocks
+                            + state.base_sum + vm.r_base)
+                    if need > state.spec.capacity + 1e-9:
+                        cvr_blocked += 1
+        out["eligible_pms"] = n_eligible
+        out["free_slots"] = int(free_slots)
+        out["max_headroom"] = (round(float(max_headroom), 6)
+                               if n_eligible else 0.0)
+        if vm is not None:
+            out["vm_cap_blocked"] = vm_cap_blocked
+            out["cvr_blocked"] = cvr_blocked
+        return out
+
+    def admit(self, vm: VMSpec, *, time: int = PRE_RUN,
+              eligible: Iterable[int] | None = None,
+              choose: Callable[[Sequence[int]], int] | None = None,
+              ) -> tuple[int, int]:
         """Admit one VM; returns ``(vm_id, pm_index)``.
 
         First-fit over PMs with the Eq. (17) test, exactly the paper's
@@ -155,26 +221,77 @@ class OnlineConsolidator:
         resolved, the attempt (successful or not) is recorded as a
         ``PlacementDecided`` with ``context="online"``, stamped ``time``.
 
+        Parameters
+        ----------
+        eligible:
+            Optional PM-index whitelist; PMs outside it are skipped (and
+            recorded with the ``draining_pm`` verdict under tracing).  The
+            placement service passes its non-draining pool here.
+        choose:
+            Optional selection rule: called with the sorted list of *all*
+            feasible eligible PM indices and must return one of them.  The
+            default (``None``) keeps the paper's first-fit and short-circuits
+            on the first feasible PM.
+
         Raises
         ------
-        InsufficientCapacityError
-            If no PM can take the VM.
+        AdmissionRejectedError
+            If no eligible PM can take the VM (``reason="fleet_full"``,
+            with a :meth:`fleet_headroom` summary attached).
         """
         if self._mapping is None:
             self._init_mapping([vm])
+        allowed = (range(len(self._states)) if eligible is None
+                   else sorted(set(int(i) for i in eligible)))
+        eligible_set = None if eligible is None else set(allowed)
         chosen = -1
-        for pm_idx, state in enumerate(self._states):
-            if state.fits(vm):
-                chosen = pm_idx
-                break
+        if choose is None:
+            for pm_idx in allowed:
+                if self._states[pm_idx].fits(vm):
+                    chosen = pm_idx
+                    break
+        else:
+            feasible = [i for i in allowed if self._states[i].fits(vm)]
+            if feasible:
+                chosen = int(choose(feasible))
+                if chosen not in feasible:
+                    raise ValueError(
+                        f"choose() returned PM {chosen}, not one of the "
+                        f"feasible candidates {feasible}")
         vm_id = self._next_id if chosen >= 0 else -1
-        self._record_decision(vm, vm_id, chosen, context="online", time=time)
+        self._record_decision(vm, vm_id, chosen, context="online", time=time,
+                              eligible=eligible_set)
         if chosen < 0:
-            raise InsufficientCapacityError(-1, "no PM can admit the arriving VM")
+            raise AdmissionRejectedError(
+                -1, REASON_FLEET_FULL,
+                headroom=self.fleet_headroom(vm, eligible=eligible))
         self._next_id += 1
         self._states[chosen].add(vm_id, vm)
         self._locations[vm_id] = chosen
         return vm_id, chosen
+
+    def apply_admit(self, vm: VMSpec, pm_index: int, vm_id: int) -> None:
+        """Apply a *recorded* admission outcome (WAL replay path).
+
+        Replay must reproduce decisions, not re-make them — selection policy,
+        pool eligibility, and circuit-breaker state at decision time are all
+        already baked into the journaled ``(vm_id, pm_index)``.  This applies
+        that outcome verbatim: no Eq. (17) re-test, no events, strict id
+        sequencing (``vm_id`` must equal the next id, so a divergent or
+        reordered log fails loudly instead of silently corrupting state).
+        """
+        if self._mapping is None:
+            self._init_mapping([vm])
+        if int(vm_id) != self._next_id:
+            raise ValueError(
+                f"replayed vm_id {vm_id} != expected next id {self._next_id}; "
+                "WAL is divergent from the restored checkpoint")
+        pm_index = int(pm_index)
+        if not 0 <= pm_index < len(self._states):
+            raise ValueError(f"replayed pm_index {pm_index} out of range")
+        self._states[pm_index].add(int(vm_id), vm)
+        self._locations[int(vm_id)] = pm_index
+        self._next_id = int(vm_id) + 1
 
     def admit_batch(self, vms: Sequence[VMSpec],
                     *, time: int = PRE_RUN) -> list[tuple[int, int]]:
@@ -247,20 +364,8 @@ class OnlineConsolidator:
         del self._locations[vm_id]
         return pm_idx
 
-    def recalibrate(self) -> bool:
-        """Recompute the mapping from the current population (Section IV-E).
-
-        Returns True if the rounded ``(p_on, p_off)`` changed and the mapping
-        was rebuilt.  Raises if the rebuilt reservations no longer fit — the
-        caller should then re-consolidate from scratch.
-        """
-        hosted = self.hosted_vms()
-        if not hosted or self._mapping is None:
-            return False
-        new_mapping = self.placer.mapping_for(list(hosted.values()))
-        if (new_mapping.p_on == self._mapping.p_on
-                and new_mapping.p_off == self._mapping.p_off):
-            return False
+    def _apply_mapping(self, new_mapping: BlockMapping) -> None:
+        """Swap the block table under the live reservations, or raise."""
         for state in self._states:
             state.mapping = new_mapping
             if not state.is_empty and state.committed > state.spec.capacity + 1e-9:
@@ -270,4 +375,138 @@ class OnlineConsolidator:
                     "re-consolidate the fleet",
                 )
         self._mapping = new_mapping
+
+    def recalibrate(self) -> bool:
+        """Recompute the mapping from the current population (Section IV-E).
+
+        Returns True if the refit block table actually differs in its
+        ``k -> K`` entries — the only thing the Eq. (17) test consults —
+        and was swapped in; otherwise the call is a counted no-op
+        (:attr:`recalibrate_noops`), so periodic recalibration is free to
+        run on a timer without churning journals or provenance.  (Entries,
+        not :func:`table_fingerprint`: re-rounding a drifting population
+        perturbs ``p_on``/``p_off`` in the last float bits without moving a
+        single block count, and that is not a recalibration.)  Raises if
+        the rebuilt reservations no longer fit — the caller should then
+        re-consolidate from scratch.
+        """
+        hosted = self.hosted_vms()
+        if not hosted or self._mapping is None:
+            self.recalibrate_noops += 1
+            return False
+        new_mapping = self.placer.mapping_for(list(hosted.values()))
+        if list(new_mapping.table) == list(self._mapping.table):
+            self.recalibrate_noops += 1
+            return False
+        self._apply_mapping(new_mapping)
         return True
+
+    def apply_recalibrate(self, p_on: float, p_off: float) -> None:
+        """Apply a *recorded* recalibration outcome (WAL replay path).
+
+        Rebuilds the block table from the journaled rounded probabilities
+        (``d``, ``rho`` and the stationary method come from the configured
+        placer, which is part of service configuration, not state) instead
+        of refitting against the population — replay applies outcomes, it
+        does not re-decide.
+        """
+        if self._mapping is None:
+            raise RuntimeError("cannot replay recalibrate before any mapping "
+                               "exists")
+        self._apply_mapping(mapcal_table(
+            self.placer.d, float(p_on), float(p_off), self.placer.rho,
+            method=self.placer.stationary_method))
+
+    # ------------------------------------------------------------------ #
+    # durable state capture / restore
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """Full consolidator state as a canonical, JSON-safe dict.
+
+        Everything needed to reconstruct the consolidator exactly —
+        reservation states, VM locations, the mapping parameters (the table
+        itself is recomputed deterministically from them on restore), and
+        the id counter.  Keys are sorted and floats kept verbatim, so two
+        consolidators in the same state serialize byte-identically; the
+        service checkpoint and the crash-recovery parity tests both hinge
+        on that.
+        """
+        mapping = None
+        if self._mapping is not None:
+            mapping = {
+                "p_on": self._mapping.p_on,
+                "p_off": self._mapping.p_off,
+                "rho": self._mapping.rho,
+                "d": self._mapping.d,
+                "fingerprint": table_fingerprint(self._mapping),
+            }
+        vms = {}
+        for vm_id, pm_idx in self._locations.items():
+            spec = self._states[pm_idx].vms[vm_id]
+            vms[str(vm_id)] = {
+                "pm": pm_idx,
+                "p_on": spec.p_on, "p_off": spec.p_off,
+                "r_base": spec.r_base, "r_extra": spec.r_extra,
+            }
+        return {
+            "format": "online-consolidator",
+            "version": 1,
+            "next_id": self._next_id,
+            "recalibrate_noops": self.recalibrate_noops,
+            "pm_capacities": [p.capacity for p in self._pms],
+            "mapping": mapping,
+            "vms": vms,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset this consolidator to a :meth:`capture_state` snapshot.
+
+        The fleet must match the snapshot (capacities are verified) and the
+        rebuilt mapping table must hash to the recorded fingerprint — a
+        checkpoint taken under different MapCal parameters fails here
+        instead of replaying a WAL against the wrong Eq. (17) table.
+        """
+        if state.get("format") != "online-consolidator":
+            raise ValueError(f"not a consolidator snapshot: {state.get('format')!r}")
+        caps = [p.capacity for p in self._pms]
+        if list(state["pm_capacities"]) != caps:
+            raise ValueError(
+                "snapshot PM capacities do not match this fleet: "
+                f"{state['pm_capacities']} != {caps}")
+        self._mapping = None
+        self._states = []
+        self._locations = {}
+        if state["mapping"] is not None:
+            m = state["mapping"]
+            mapping = mapcal_table(int(m["d"]), float(m["p_on"]),
+                                   float(m["p_off"]), float(m["rho"]),
+                                   method=self.placer.stationary_method)
+            got = table_fingerprint(mapping)
+            if got != m["fingerprint"]:
+                raise ValueError(
+                    f"rebuilt mapping fingerprint {got} != recorded "
+                    f"{m['fingerprint']}; MapCal configuration drifted")
+            self._mapping = mapping
+            self._states = [PMReservationState(spec=p, mapping=mapping)
+                            for p in self._pms]
+        for vm_id_str in sorted(state["vms"], key=int):
+            rec = state["vms"][vm_id_str]
+            vm_id = int(vm_id_str)
+            spec = VMSpec(p_on=rec["p_on"], p_off=rec["p_off"],
+                          r_base=rec["r_base"], r_extra=rec["r_extra"])
+            self._states[int(rec["pm"])].add(vm_id, spec)
+            self._locations[vm_id] = int(rec["pm"])
+        self._next_id = int(state["next_id"])
+        self.recalibrate_noops = int(state.get("recalibrate_noops", 0))
+
+    def state_fingerprint(self) -> str:
+        """sha256 over the canonical state snapshot (first 16 hex chars).
+
+        Two consolidators share a fingerprint iff :meth:`capture_state`
+        agrees on every field — locations, reservation contents, mapping
+        fingerprint, and ``next_id`` — which is exactly the crash-recovery
+        parity criterion.
+        """
+        payload = json.dumps(self.capture_state(), sort_keys=True,
+                             separators=(",", ":")).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]

@@ -910,3 +910,13 @@ ABLATIONS["ablation_serving"] = (
     run_serving_ablation,
     "Request-level serving: latency/loss per placement, with/without tier",
 )
+
+
+# imported late: the service tier pulls in WAL/pool/breaker machinery
+from repro.experiments.service_ablation import run_service_ablation  # noqa: E402
+
+ABLATIONS["ablation_service"] = (
+    run_service_ablation,
+    "Placement service: GRAND vs QueuingFFD under sustained load, "
+    "elastic pool, fluid-limit bound",
+)

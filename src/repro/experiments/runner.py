@@ -373,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("-o", "--output", type=Path, default=None,
                          help="also write the rendered explanation here")
 
+    from repro.service.cli import add_serve_parser
+
+    add_serve_parser(sub)
+
     sub.add_parser("claims",
                    help="machine-check the paper's headline claims")
     return parser
@@ -849,6 +853,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_perf(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "serve":
+        from repro.service.cli import run_serve
+
+        return run_serve(args)
     if args.command == "claims":
         from repro.experiments.claims import verify_claims
 

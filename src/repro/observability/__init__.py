@@ -59,6 +59,7 @@ from repro.observability.slo import (
     SLOEngine,
     SLORule,
     default_rules,
+    default_service_rules,
     default_serving_rules,
     load_rules,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "ActiveAlert",
     "AlertSpan",
     "default_rules",
+    "default_service_rules",
     "default_serving_rules",
     "load_rules",
     "DriftDetector",

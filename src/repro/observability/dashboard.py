@@ -258,6 +258,24 @@ def render_frame(obs: Observatory, *, title: str = "run observatory",
             lines.append(_spark_row(label, rec.charts[chart].series()[1], fmt))
         lines.append(_rule())
 
+    # placement service (only when `repro serve` emitted snapshots)
+    if rec.service_seen:
+        lines.append(
+            f"SERVICE: requests {summary['svc_requests']:.0f}   "
+            f"shed(win) {summary['shed_rate_window']:.4f}   "
+            f"pool {summary['svc_active_pms']:.0f}A/"
+            f"{summary['svc_draining_pms']:.0f}D/"
+            f"{summary['svc_retired_pms']:.0f}R   "
+            f"wal lag {summary['svc_wal_lag']:.0f}   "
+            f"staleness {summary['svc_staleness']:.0f}")
+        for label, chart, fmt in (
+            ("shed rate", "shed_rate", ".4f"),
+            ("active PMs", "active_pms", ".0f"),
+            ("WAL lag", "wal_lag", ".0f"),
+        ):
+            lines.append(_spark_row(label, rec.charts[chart].series()[1], fmt))
+        lines.append(_rule())
+
     # alerts
     if obs.slo.active:
         lines.append("ALERTS FIRING:")

@@ -29,7 +29,12 @@ from repro.placement.base import (
     REASON_CHOSEN,
     REASON_CRASHED,
     REASON_CVR_THRESHOLD,
+    REASON_DRAINING,
     REASON_FEASIBLE,
+    REASON_FLEET_FULL,
+    REASON_SHED_INBOX,
+    REASON_SHED_PRIORITY,
+    REASON_SHED_SOLVER,
     REASON_SOURCE,
     REASON_SPREAD,
     REASON_VM_CAP,
@@ -63,6 +68,11 @@ REASON_TEXT = {
     REASON_CRASHED: "PM crashed / excluded",
     REASON_BLACKLISTED: "target blacklisted (flapping)",
     REASON_SOURCE: "is the source PM",
+    REASON_DRAINING: "draining for retirement",
+    REASON_FLEET_FULL: "no eligible PM passes the reservation test",
+    REASON_SHED_INBOX: "shed: admission inbox full",
+    REASON_SHED_PRIORITY: "shed: evicted for a higher-class arrival",
+    REASON_SHED_SOLVER: "shed: solver degraded, no usable mapping",
 }
 
 _DECISION_KINDS = (PlacementDecided, MigrationDecided,

@@ -33,6 +33,7 @@ from repro.telemetry.events import (
     MigrationCompleted,
     PMCrashed,
     PMRepaired,
+    ServiceSnapshot,
     ServingSnapshot,
     TelemetryEvent,
 )
@@ -40,7 +41,8 @@ from repro.telemetry.events import (
 __all__ = ["PMState", "TimeSeriesRecorder"]
 
 #: burn metrics :meth:`TimeSeriesRecorder.burn` understands
-BURN_METRICS = ("cvr", "migration_churn", "latency_sla", "request_loss")
+BURN_METRICS = ("cvr", "migration_churn", "latency_sla", "request_loss",
+                "shed_rate", "wal_lag")
 
 
 class PMState:
@@ -108,12 +110,26 @@ class TimeSeriesRecorder:
         self.req_lost = RollingWindow(window)
         #: whether any serving telemetry has been ingested
         self.serving_seen = False
+        # --- placement-service windows (standalone mode: ServiceSnapshot
+        #     events are their own interval clock, since a long-running
+        #     service has no simulator driving IntervalSnapshots; do not
+        #     mix the two planes into one recorder) ---
+        #: admission requests decided each service interval
+        self.svc_requests = RollingWindow(window)
+        #: requests shed each service interval
+        self.svc_shed = RollingWindow(window)
+        #: WAL records past the last compaction, per interval (a gauge)
+        self.svc_wal_lag = RollingWindow(window)
+        #: whether any placement-service telemetry has been ingested
+        self.service_seen = False
+        self.last_service: ServiceSnapshot | None = None
         # --- chart series ---
         self.charts: dict[str, TieredSeries] = {
             name: TieredSeries(raw=chart_points)
             for name in ("utilization", "on_fraction", "on_fraction_expected",
                          "pms_on", "migrations", "overloaded", "violations",
-                         "latency_p50", "latency_p99", "loss_rate", "backlog")
+                         "latency_p50", "latency_p99", "loss_rate", "backlog",
+                         "shed_rate", "active_pms", "wal_lag")
         }
         # --- per-PM state ---
         self.pms: dict[int, PMState] = {}
@@ -142,6 +158,8 @@ class TimeSeriesRecorder:
             self._pending_migrations[event.time] += 1
         elif isinstance(event, ServingSnapshot):
             self._pending_serving[event.time] = event
+        elif isinstance(event, ServiceSnapshot):
+            self._finalize_service(event)
         elif isinstance(event, PMCrashed):
             state = self._pm(event.pm_id)
             state.alive = False
@@ -246,6 +264,31 @@ class TimeSeriesRecorder:
         self.last_time = t
         self.last_snapshot = snap
 
+    def _finalize_service(self, snap: ServiceSnapshot) -> None:
+        """Fold one placement-service snapshot into the windows.
+
+        ``ServiceSnapshot`` counters are cumulative (requests/shed since
+        service start), so each tick pushes the *delta* from the previous
+        snapshot; ``wal_lag`` is a gauge and is pushed as-is.  Each
+        snapshot advances :attr:`ticks` — in standalone service mode it is
+        the only interval clock the SLO engine's gating sees.
+        """
+        prev = self.last_service
+        d_requests = snap.requests - (prev.requests if prev else 0)
+        d_shed = snap.shed - (prev.shed if prev else 0)
+        self.svc_requests.push(max(d_requests, 0))
+        self.svc_shed.push(max(d_shed, 0))
+        self.svc_wal_lag.push(snap.wal_lag)
+        t = snap.time
+        self.charts["shed_rate"].push(
+            t, d_shed / d_requests if d_requests > 0 else 0.0)
+        self.charts["active_pms"].push(t, snap.active_pms)
+        self.charts["wal_lag"].push(t, snap.wal_lag)
+        self.service_seen = True
+        self.last_service = snap
+        self.ticks += 1
+        self.last_time = t
+
     # ----------------------------------------------------------------- #
     # queries
     # ----------------------------------------------------------------- #
@@ -273,12 +316,29 @@ class TimeSeriesRecorder:
             Requests lost (queue-full blocking, tier back-pressure, DLQ)
             per arriving request, relative to the tolerated loss rate
             (``budget``).
+        ``"shed_rate"``
+            Placement-service admissions shed per decided request,
+            relative to the tolerated shed fraction (``budget``).
+        ``"wal_lag"``
+            Mean WAL records outstanding past the last compaction,
+            relative to the tolerated journal depth (``budget``) — a lag
+            burning past 1.0 means checkpointing has stalled.
         """
         if metric not in BURN_METRICS:
             raise ValueError(
                 f"unknown burn metric {metric!r}; known: {BURN_METRICS}")
         if budget <= 0:
             raise ValueError(f"budget must be > 0, got {budget}")
+        if metric == "shed_rate":
+            requests = self.svc_requests.sum_last(window)
+            if requests <= 0:
+                return 0.0
+            return (self.svc_shed.sum_last(window) / requests) / budget
+        if metric == "wal_lag":
+            n = self.svc_wal_lag.count_last(window)
+            if n <= 0:
+                return 0.0
+            return (self.svc_wal_lag.sum_last(window) / n) / budget
         if metric == "latency_sla":
             completions = self.req_completions.sum_last(window)
             if completions <= 0:
@@ -350,4 +410,25 @@ class TimeSeriesRecorder:
             summary["loss_rate_window"] = self.loss_rate()
             summary["sla_violation_window"] = self.sla_violation_fraction()
             summary["backlog"] = self.charts["backlog"].last
+        if self.service_seen and self.last_service is not None:
+            snap = self.last_service
+            summary["svc_requests"] = float(snap.requests)
+            summary["svc_admitted"] = float(snap.admitted)
+            summary["svc_shed"] = float(snap.shed)
+            summary["shed_rate_window"] = self.shed_rate()
+            summary["svc_active_pms"] = float(snap.active_pms)
+            summary["svc_draining_pms"] = float(snap.draining_pms)
+            summary["svc_retired_pms"] = float(snap.retired_pms)
+            summary["svc_used_pms"] = float(snap.used_pms)
+            summary["svc_hosted_vms"] = float(snap.hosted_vms)
+            summary["svc_wal_lag"] = float(snap.wal_lag)
+            summary["svc_staleness"] = float(snap.staleness)
         return summary
+
+    def shed_rate(self, window: int | None = None) -> float:
+        """Observed placement-service shed rate over the (last ``window``)."""
+        window = self.window if window is None else window
+        requests = self.svc_requests.sum_last(window)
+        if requests <= 0:
+            return 0.0
+        return self.svc_shed.sum_last(window) / requests

@@ -48,6 +48,7 @@ __all__ = [
     "AlertSpan",
     "default_rules",
     "default_serving_rules",
+    "default_service_rules",
     "load_rules",
 ]
 
@@ -169,6 +170,36 @@ def default_serving_rules(tail_budget: float = 0.01,
             fast=BurnWindow(5, 10.0),
             slow=BurnWindow(60, 2.0),
             severity="page",
+        ),
+    ]
+
+
+def default_service_rules(shed_budget: float = 0.05,
+                          wal_lag_budget: float = 256.0) -> list[SLORule]:
+    """Burn rules for the placement service (standalone ``repro serve``).
+
+    ``admission_shed`` pages when requests are being shed faster than the
+    tolerated ``shed_budget`` fraction — sustained overload, a stuck
+    solver, or an under-provisioned pool.  ``wal_lag`` tickets when the
+    journal outgrows ``wal_lag_budget`` records past the last compaction,
+    meaning checkpointing has stalled and recovery time is growing.
+    """
+    return [
+        SLORule(
+            name="admission_shed",
+            metric="shed_rate",
+            budget=shed_budget,
+            fast=BurnWindow(5, 10.0),
+            slow=BurnWindow(60, 2.0),
+            severity="page",
+        ),
+        SLORule(
+            name="wal_lag",
+            metric="wal_lag",
+            budget=wal_lag_budget,
+            fast=BurnWindow(5, 2.0),
+            slow=BurnWindow(60, 1.0),
+            severity="ticket",
         ),
     ]
 

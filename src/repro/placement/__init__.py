@@ -4,6 +4,9 @@
 - :mod:`repro.placement.ffd` — classic bin-packing placers: FFD by ``R_p``
   (the paper's RP baseline), FFD by ``R_b`` (RB), and generic
   first/best/worst/next-fit variants for ablations.
+- :mod:`repro.placement.grand` — GRAND (Stolyar): uniform-random choice
+  among Eq. (17)-feasible PMs, with stateless replayable randomness; the
+  placement service's alternative to QueuingFFD's first-fit.
 - :mod:`repro.placement.rbex` — RB-EX: FFD by ``R_b`` with a fixed
   ``delta``-fraction of each PM's capacity withheld (Section V-D).
 - :mod:`repro.placement.sbp` — stochastic bin packing with normal
@@ -17,11 +20,14 @@
 
 from repro.placement.base import (
     PLACEMENT_REASONS,
+    SHED_REASONS,
+    AdmissionRejectedError,
     InsufficientCapacityError,
     Placer,
     PlacementExplainer,
     truncate_candidates,
 )
+from repro.placement.grand import GreedyRandomPlacer, hash_pick
 from repro.placement.ffd import (
     BestFitDecreasing,
     FirstFitDecreasing,
@@ -45,8 +51,12 @@ from repro.placement.validation import (
 )
 
 __all__ = [
+    "AdmissionRejectedError",
     "InsufficientCapacityError",
     "PLACEMENT_REASONS",
+    "SHED_REASONS",
+    "GreedyRandomPlacer",
+    "hash_pick",
     "Placer",
     "PlacementExplainer",
     "truncate_candidates",

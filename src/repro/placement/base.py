@@ -31,12 +31,24 @@ REASON_SPREAD = "spread_constraint"      # DomainSpreadConstraint veto
 REASON_CRASHED = "crashed_pm"            # PM excluded: crashed/unavailable
 REASON_BLACKLISTED = "blacklisted_pm"    # PM excluded: migration blacklist
 REASON_SOURCE = "source_pm"              # migration may not target its source
+REASON_DRAINING = "draining_pm"          # PM excluded: draining for retire
+REASON_FLEET_FULL = "fleet_full"         # no (active) PM passes Eq. (17)
+REASON_SHED_INBOX = "shed_inbox_full"    # admission inbox at capacity
+REASON_SHED_PRIORITY = "shed_priority"   # evicted for a higher-class arrival
+REASON_SHED_SOLVER = "shed_solver_degraded"  # no usable mapping table
 
 #: every verdict string a decision event may carry
 PLACEMENT_REASONS = frozenset({
     REASON_CHOSEN, REASON_FEASIBLE, REASON_CAPACITY, REASON_CVR_THRESHOLD,
     REASON_VM_CAP, REASON_SPREAD, REASON_CRASHED, REASON_BLACKLISTED,
-    REASON_SOURCE,
+    REASON_SOURCE, REASON_DRAINING, REASON_FLEET_FULL, REASON_SHED_INBOX,
+    REASON_SHED_PRIORITY, REASON_SHED_SOLVER,
+})
+
+#: the subset a load-shedding admission rejection may carry as its reason
+SHED_REASONS = frozenset({
+    REASON_FLEET_FULL, REASON_SHED_INBOX, REASON_SHED_PRIORITY,
+    REASON_SHED_SOLVER,
 })
 
 
@@ -149,6 +161,42 @@ class InsufficientCapacityError(RuntimeError):
         )
         logger.warning("placement infeasible: %s", message)
         super().__init__(message)
+
+
+class AdmissionRejectedError(InsufficientCapacityError):
+    """A typed, actionable online-admission rejection.
+
+    Raised instead of a bare :class:`InsufficientCapacityError` by the
+    online admission path (:meth:`repro.core.online.OnlineConsolidator.admit`
+    and the placement service): carries a stable ``reason`` drawn from
+    :data:`PLACEMENT_REASONS` plus a ``headroom`` summary of the fleet at
+    rejection time, so the caller (and the operator reading the log line)
+    knows *why* the VM was turned away and what it would take to admit it.
+
+    Attributes
+    ----------
+    reason:
+        One of the :data:`PLACEMENT_REASONS` strings (typically a member
+        of :data:`SHED_REASONS`).
+    headroom:
+        Fleet headroom summary dict — e.g. active/eligible PM counts, free
+        VM slots, the largest single-PM headroom, and how many PMs each
+        veto layer blocked (see
+        :meth:`repro.core.online.OnlineConsolidator.fleet_headroom`).
+    """
+
+    def __init__(self, vm_index: int, reason: str,
+                 headroom: dict | None = None,
+                 message: str | None = None):
+        self.reason = str(reason)
+        self.headroom = dict(headroom) if headroom else {}
+        if message is None:
+            bits = ", ".join(f"{k}={v:g}" if isinstance(v, float)
+                             else f"{k}={v}"
+                             for k, v in sorted(self.headroom.items()))
+            message = (f"admission rejected ({self.reason})"
+                       + (f": {bits}" if bits else ""))
+        super().__init__(vm_index, message)
 
 
 class Placer(ABC):

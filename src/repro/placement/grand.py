@@ -1,0 +1,141 @@
+"""GRAND: greedy-random packing under the paper's reservation test.
+
+Stolyar's GRAND family (PAPERS.md, arXiv:1212.0875) places each arriving
+item on a server drawn *uniformly at random* from the feasible set, and is
+asymptotically optimal in the fluid limit despite ignoring fit quality
+entirely.  :class:`GreedyRandomPlacer` transplants that rule onto this
+repo's Eq. (17) admission test: the feasible set for a VM is every PM that
+passes the reservation check (same ``k -> K`` block table as
+:class:`~repro.core.queuing_ffd.QueuingFFD`), and the pick among them is
+uniform — so GRAND vs. QueuingFFD isolates the *selection rule* while the
+burstiness model is held fixed.
+
+Randomness is **stateless and replayable**: the pick for decision ``n`` is
+a sha256 hash of ``(seed, n)``, not a stream from a stateful RNG.  The
+placement service journals only the decision sequence number; crash
+recovery replays journaled outcomes and never needs to capture or restore
+RNG state, and two services configured with the same seed make identical
+picks regardless of crash/restart history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.core.mapcal import table_fingerprint
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.reservation import PMReservationState
+from repro.core.types import Placement, PMSpec, VMSpec
+from repro.placement.base import (
+    REASON_CHOSEN,
+    REASON_CVR_THRESHOLD,
+    REASON_FEASIBLE,
+    REASON_VM_CAP,
+    InsufficientCapacityError,
+)
+
+
+def hash_pick(seed: int, decision_seq: int, n_choices: int) -> int:
+    """Deterministic uniform index in ``[0, n_choices)`` for one decision.
+
+    ``sha256(f"{seed}:{decision_seq}")`` reduced mod ``n_choices`` — a pure
+    function of its arguments, so any party holding ``(seed, seq)`` agrees
+    on the pick without sharing RNG state.  The 64-bit reduction's modulo
+    bias is below ``n_choices / 2**64``, irrelevant for fleet-sized choice
+    sets.
+    """
+    if n_choices <= 0:
+        raise ValueError("n_choices must be positive")
+    digest = hashlib.sha256(f"{seed}:{decision_seq}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % n_choices
+
+
+class GreedyRandomPlacer(QueuingFFD):
+    """GRAND(C, 0): uniform-random choice among Eq. (17)-feasible PMs.
+
+    Inherits MapCal configuration (``rho``, ``d``, rounding, stationary
+    method) from :class:`QueuingFFD` so the two strategies share block
+    tables; only ordering and selection differ:
+
+    - VMs are placed in **input order** (GRAND models an arrival stream;
+      there is no batch-wide sort to exploit), and
+    - the PM is drawn uniformly from all feasible candidates via
+      :func:`hash_pick` keyed on ``(seed, decision_seq)``.
+
+    ``decision_seq`` starts at ``seed_seq`` and increments once per VM, so
+    a batch ``place`` and a sequence of online ``choose_for`` calls that
+    present the same feasible sets make the same picks.
+    """
+
+    name = "GRAND"
+
+    def __init__(self, rho: float = 0.01, d: int = 16, *, seed: int = 0,
+                 **kwargs):
+        kwargs.setdefault("cluster_method", "none")
+        super().__init__(rho, d, **kwargs)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ #
+    # online hook: selection rule for OnlineConsolidator.admit(choose=...)
+    # ------------------------------------------------------------------ #
+    def choose_for(self, decision_seq: int):
+        """A ``choose`` callable for one online admission.
+
+        Bind the decision's sequence number up front (the service uses its
+        WAL sequence), then hand the result to
+        :meth:`repro.core.online.OnlineConsolidator.admit`; the callable
+        receives the feasible PM list and returns the hash-picked member.
+        """
+        seq = int(decision_seq)
+
+        def choose(feasible: Sequence[int]) -> int:
+            return int(feasible[hash_pick(self.seed, seq, len(feasible))])
+
+        return choose
+
+    # ------------------------------------------------------------------ #
+    # Placer interface
+    # ------------------------------------------------------------------ #
+    def place_with_states(
+        self, vms: Sequence[VMSpec], pms: Sequence[PMSpec]
+    ) -> tuple[Placement, list[PMReservationState]]:
+        placement = Placement(len(vms), len(pms))
+        if not vms:
+            return placement, []
+        explainer = self.explainer
+        mapping = self.mapping_for(vms)
+        if explainer is not None:
+            explainer.set_inputs(
+                p_on=mapping.p_on, p_off=mapping.p_off,
+                table_fingerprint=table_fingerprint(mapping),
+                score_kind="reservation_headroom")
+        states = [PMReservationState(spec=p, mapping=mapping) for p in pms]
+        for vm_idx, vm in enumerate(vms):
+            feasible: list[int] = []
+            verdicts: list[str] = []
+            scores: list[float] = []
+            for pm_idx, state in enumerate(states):
+                new_count = state.count + 1
+                blocks = int(mapping.table[min(new_count, mapping.d)])
+                need = (max(state.max_extra, vm.r_extra) * blocks
+                        + state.base_sum + vm.r_base)
+                scores.append(state.spec.capacity - need)
+                if new_count > mapping.d:
+                    verdicts.append(REASON_VM_CAP)
+                elif need > state.spec.capacity + 1e-9:
+                    verdicts.append(REASON_CVR_THRESHOLD)
+                else:
+                    verdicts.append(REASON_FEASIBLE)
+                    feasible.append(pm_idx)
+            chosen = -1
+            if feasible:
+                chosen = feasible[hash_pick(self.seed, vm_idx, len(feasible))]
+                verdicts[chosen] = REASON_CHOSEN
+            if explainer is not None:
+                explainer.record(vm_idx, chosen, verdicts, scores)
+            if chosen < 0:
+                raise InsufficientCapacityError(vm_idx)
+            states[chosen].add(vm_idx, vm)
+            placement.place(vm_idx, chosen)
+        return placement, states

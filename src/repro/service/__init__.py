@@ -1,0 +1,46 @@
+"""The placement service tier: a crash-safe online control plane.
+
+Promotes the paper's Section IV-E online rules from a batch-oriented
+:class:`~repro.core.online.OnlineConsolidator` into a long-running service
+with production robustness:
+
+- :mod:`repro.service.wal` — fsync'd, sha256-chained, torn-write-tolerant
+  write-ahead log plus the checkpoint it compacts into.
+- :mod:`repro.service.shed` — bounded admission inbox with per-class
+  priorities and typed load shedding.
+- :mod:`repro.service.breaker` — circuit breaker around MapCal solves
+  with last-known-good fallback.
+- :mod:`repro.service.pool` — elastic PM pool: hysteresis scaling,
+  two-phase abortable scale-down, drain-before-retire guard.
+- :mod:`repro.service.service` — :class:`PlacementService`, the
+  journal-then-apply decision pipeline tying the above together.
+- :mod:`repro.service.cli` — ``python -m repro serve`` with chaos drills.
+"""
+
+from repro.service.breaker import SolverCircuitBreaker
+from repro.service.pool import ElasticPMPool, PoolGuardError
+from repro.service.service import PlacementService
+from repro.service.shed import AdmissionInbox, Request
+from repro.service.wal import (
+    WALCorruptError,
+    WALError,
+    WALRecord,
+    WriteAheadLog,
+    load_service_checkpoint,
+    save_service_checkpoint,
+)
+
+__all__ = [
+    "AdmissionInbox",
+    "ElasticPMPool",
+    "PlacementService",
+    "PoolGuardError",
+    "Request",
+    "SolverCircuitBreaker",
+    "WALCorruptError",
+    "WALError",
+    "WALRecord",
+    "WriteAheadLog",
+    "load_service_checkpoint",
+    "save_service_checkpoint",
+]

@@ -1,0 +1,99 @@
+"""Circuit breaker around MapCal solves, with last-known-good fallback.
+
+The mapping table is rebuilt on recalibration (and on the first arrival);
+a solver bug, pathological parameters, or an injected stall must not turn
+into failed admissions.  The breaker wraps every solve:
+
+- **closed** — solves run normally; consecutive failures are counted.
+- **open** — after ``failure_threshold`` consecutive failures the breaker
+  opens for ``cooldown`` decisions: solves are skipped outright and the
+  service keeps serving the *last-known-good* mapping, incrementing a
+  staleness counter (surfaced as a WARN log, a ``solver_degraded`` event
+  and a dashboard column — degraded is loud, never silent).
+- **half_open** — after the cooldown, one probe solve is allowed; success
+  closes the breaker and resets staleness, failure re-opens it.
+
+"Time" here is the service's decision sequence, not wall-clock — the
+breaker's behavior is therefore deterministic and replay-safe.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, TypeVar
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class SolverCircuitBreaker:
+    """Consecutive-failure breaker, clocked by decision sequence numbers."""
+
+    def __init__(self, *, failure_threshold: int = 3, cooldown: int = 16):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = int(cooldown)
+        self.state = STATE_CLOSED
+        self.failures = 0          # consecutive failures
+        self.staleness = 0         # decisions served on a stale mapping
+        self.opened_at = -1        # decision seq when the breaker opened
+        self.last_error = ""
+
+    def allow(self, seq: int) -> bool:
+        """May a solve run at decision ``seq``?  (Transitions to half-open.)"""
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN and seq - self.opened_at >= self.cooldown:
+            self.state = STATE_HALF_OPEN
+        return self.state == STATE_HALF_OPEN
+
+    def record_success(self) -> None:
+        if self.state != STATE_CLOSED:
+            logger.info("solver breaker closed after successful probe")
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.staleness = 0
+        self.last_error = ""
+
+    def record_failure(self, seq: int, error: Exception | str) -> None:
+        self.failures += 1
+        self.last_error = str(error)
+        if self.state == STATE_HALF_OPEN \
+                or self.failures >= self.failure_threshold:
+            self.state = STATE_OPEN
+            self.opened_at = int(seq)
+            logger.warning(
+                "solver breaker OPEN at decision %d after %d consecutive "
+                "failures (%s); serving last-known-good mapping for >= %d "
+                "decisions", seq, self.failures, self.last_error,
+                self.cooldown)
+
+    def call(self, seq: int, solve: Callable[[], T], *,
+             fallback: T | None = None) -> tuple[T | None, bool]:
+        """Run ``solve`` under the breaker; returns ``(result, degraded)``.
+
+        On an open breaker — or a solve failure — returns ``(fallback,
+        True)`` and bumps :attr:`staleness`; the caller keeps serving the
+        fallback (its last-known-good mapping) and is responsible for
+        emitting the ``solver_degraded`` event.  ``degraded`` is False only
+        for a genuine, fresh solve result.
+        """
+        if not self.allow(seq):
+            self.staleness += 1
+            return fallback, True
+        try:
+            result = solve()
+        except Exception as exc:  # noqa: BLE001 — breaker boundary
+            self.record_failure(seq, exc)
+            self.staleness += 1
+            return fallback, True
+        self.record_success()
+        return result, False

@@ -32,6 +32,7 @@ from repro.telemetry.context import (
 from repro.telemetry.events import (
     EVENT_TYPES,
     PRE_RUN,
+    AdmissionRejected,
     AlertFired,
     AlertResolved,
     BenchJobFinished,
@@ -53,6 +54,7 @@ from repro.telemetry.events import (
     PMCrashed,
     PMRepaired,
     PoisonQuarantined,
+    PoolScaled,
     ReconsolidationDecided,
     ReconsolidationTriggered,
     RefitCompleted,
@@ -63,11 +65,14 @@ from repro.telemetry.events import (
     ReplanStarted,
     RunResumed,
     ServiceRestored,
+    ServiceSnapshot,
     ServingSnapshot,
+    SolverDegraded,
     TargetBlacklisted,
     TelemetryEvent,
     VMPlaced,
     VMStranded,
+    WALReplayed,
     event_from_dict,
 )
 from repro.telemetry.logfilter import LogRateLimiter
@@ -101,6 +106,7 @@ __all__ = [
     "tracing",
     "EVENT_TYPES",
     "PRE_RUN",
+    "AdmissionRejected",
     "AlertFired",
     "AlertResolved",
     "BenchJobFinished",
@@ -122,6 +128,7 @@ __all__ = [
     "PMCrashed",
     "PMRepaired",
     "PoisonQuarantined",
+    "PoolScaled",
     "ReconsolidationDecided",
     "ReconsolidationTriggered",
     "RefitCompleted",
@@ -132,11 +139,14 @@ __all__ = [
     "ReplanStarted",
     "RunResumed",
     "ServiceRestored",
+    "ServiceSnapshot",
     "ServingSnapshot",
+    "SolverDegraded",
     "TargetBlacklisted",
     "TelemetryEvent",
     "VMPlaced",
     "VMStranded",
+    "WALReplayed",
     "event_from_dict",
     "LogRateLimiter",
     "DEFAULT_BUCKETS",

@@ -721,6 +721,129 @@ class ServingSnapshot(TelemetryEvent):
     p99: float = 0.0
 
 
+# --------------------------------------------------------------------- #
+# the online placement service (see :mod:`repro.service` and
+# docs/ROBUSTNESS.md "The placement service failure model")
+# --------------------------------------------------------------------- #
+@register
+@dataclass(frozen=True)
+class AdmissionRejected(TelemetryEvent):
+    """The placement service shed one admission request.
+
+    ``time`` is the service's decision sequence number (the WAL ``seq``
+    the shed was journaled under).  ``reason`` is a stable string from
+    :data:`repro.placement.base.PLACEMENT_REASONS` (normally one of the
+    ``SHED_REASONS``: inbox overflow, priority eviction, a full fleet, or
+    a degraded solver).  The headroom fields snapshot what the fleet could
+    still have taken, so the rejection is actionable from the trace alone.
+    """
+
+    kind: ClassVar[str] = "admission_rejected"
+
+    request_key: str = ""
+    vm_class: str = "standard"
+    reason: str = ""
+    inbox_depth: int = 0
+    active_pms: int = 0
+    free_slots: int = 0
+    max_headroom: float = 0.0
+
+
+@register
+@dataclass(frozen=True)
+class WALReplayed(TelemetryEvent):
+    """The service recovered its state from checkpoint + WAL replay.
+
+    ``time`` is the recovered decision sequence.  ``checkpoint_seq`` is
+    the compaction point the replay started from (0 = cold start),
+    ``records`` how many journal records were re-applied on top, and
+    ``truncated_tail`` how many torn tail lines were dropped.
+    ``fingerprint`` is the recovered consolidator state fingerprint — the
+    value crash-parity drills compare against an uninterrupted run.
+    """
+
+    kind: ClassVar[str] = "wal_replayed"
+
+    path: str = ""
+    checkpoint_seq: int = 0
+    records: int = 0
+    truncated_tail: int = 0
+    fingerprint: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class PoolScaled(TelemetryEvent):
+    """The elastic PM pool changed one PM's lifecycle state.
+
+    ``action`` is one of ``"up"`` (standby -> active), ``"down_prepare"``
+    (active -> draining, phase one of the journaled two-phase retire),
+    ``"down_commit"`` (draining -> retired; the PM is guaranteed empty) or
+    ``"down_abort"`` (draining -> active rollback).  ``time`` is the WAL
+    sequence of the journaled decision.
+    """
+
+    kind: ClassVar[str] = "pool_scaled"
+
+    action: str = ""
+    pm_id: int = -1
+    active_pms: int = 0
+    draining_pms: int = 0
+    cause: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class SolverDegraded(TelemetryEvent):
+    """The MapCal solve circuit breaker changed state.
+
+    ``state`` is the breaker state after the transition (``"open"``,
+    ``"half_open"``, ``"closed"``).  While open the service keeps serving
+    the last-known-good mapping table; ``staleness`` counts the decisions
+    taken against that stale table so far.
+    """
+
+    kind: ClassVar[str] = "solver_degraded"
+
+    state: str = ""
+    failures: int = 0
+    staleness: int = 0
+    error: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class ServiceSnapshot(TelemetryEvent):
+    """Periodic placement-service health sample (the service's clock).
+
+    The standalone service has no simulation interval clock; ``time`` is
+    the WAL decision sequence at sampling time.  The recorder folds these
+    into its rolling windows (shed rate, WAL lag, pool size) so the SLO
+    engine's burn-rate rules and the SERVICE dashboard panel work on a
+    live service exactly as they do on a simulated run.
+    """
+
+    kind: ClassVar[str] = "service_snapshot"
+
+    #: admission requests processed since the previous snapshot
+    requests: int = 0
+    #: requests admitted since the previous snapshot
+    admitted: int = 0
+    #: requests shed (typed rejections) since the previous snapshot
+    shed: int = 0
+    #: departures applied since the previous snapshot
+    departed: int = 0
+    active_pms: int = 0
+    draining_pms: int = 0
+    retired_pms: int = 0
+    hosted_vms: int = 0
+    used_pms: int = 0
+    #: journal records since the last checkpoint compaction
+    wal_lag: int = 0
+    #: decisions served against a stale (circuit-broken) mapping table
+    staleness: int = 0
+
+
 @register
 @dataclass(frozen=True)
 class PoisonQuarantined(TelemetryEvent):

@@ -1,0 +1,58 @@
+"""ablation_service: registration, determinism, and the fluid-limit bound."""
+
+import pytest
+
+from repro.core.types import VMSpec
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.service_ablation import (
+    fluid_limit_pms,
+    run_service_ablation,
+)
+
+VM = VMSpec(p_on=0.1, p_off=0.5, r_base=2.0, r_extra=3.0)
+
+TINY = dict(n_pms=6, capacity=10.0, n_ticks=12, mean_life=4.0,
+            rates=(0.5, 3.0), seed=5)
+
+
+class TestFluidLimit:
+    def test_bound_is_monotone_in_rate(self):
+        bounds = [fluid_limit_pms(r, 8.0, VM, 10.0, rho=0.01, d=8)
+                  for r in (0.5, 2.0, 5.0)]
+        assert bounds == sorted(bounds)
+        assert bounds[0] >= 1
+
+    def test_infeasible_vm_class_raises(self):
+        fat = VMSpec(p_on=0.1, p_off=0.5, r_base=50.0, r_extra=10.0)
+        with pytest.raises(ValueError, match="fits on no PM"):
+            fluid_limit_pms(1.0, 8.0, fat, 10.0, rho=0.01, d=8)
+
+
+class TestAblation:
+    def test_registered(self):
+        assert "ablation_service" in ABLATIONS
+        fn, desc = ABLATIONS["ablation_service"]
+        assert fn is run_service_ablation
+        assert "GRAND" in desc
+
+    def test_deterministic_across_reruns(self):
+        first = run_service_ablation(**TINY)
+        second = run_service_ablation(**TINY)
+        assert first.rows == second.rows
+
+    def test_covers_both_strategies_and_pools(self):
+        result = run_service_ablation(**TINY)
+        strategies = {(r[0], r[1]) for r in result.rows}
+        assert strategies == {("QUEUE", "static"), ("QUEUE", "elastic"),
+                              ("GRAND", "static"), ("GRAND", "elastic")}
+        for row in result.rows:
+            mean_used, peak_used = row[4], row[5]
+            assert 0 <= mean_used <= peak_used <= TINY["n_pms"]
+            assert 0.0 <= row[6] <= 1.0      # shed rate is a fraction
+            assert 0 <= row[7] <= TINY["n_pms"]  # retired PM count
+
+    def test_static_pool_never_retires(self):
+        result = run_service_ablation(**TINY)
+        for row in result.rows:
+            if row[1] == "static":
+                assert row[7] == 0

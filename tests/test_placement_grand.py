@@ -1,0 +1,109 @@
+"""GRAND greedy-random placement: determinism, feasibility, spreading."""
+
+import pytest
+
+from repro.core.online import OnlineConsolidator
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.types import PMSpec, VMSpec
+from repro.placement.grand import GreedyRandomPlacer, hash_pick
+from repro.service.service import PlacementService
+
+VM = VMSpec(p_on=0.1, p_off=0.5, r_base=2.0, r_extra=3.0)
+
+
+class TestHashPick:
+    def test_deterministic_and_in_range(self):
+        for seed in (0, 1, 42):
+            for seq in range(50):
+                pick = hash_pick(seed, seq, 7)
+                assert 0 <= pick < 7
+                assert pick == hash_pick(seed, seq, 7)
+
+    def test_varies_with_seq_and_seed(self):
+        picks_by_seq = {hash_pick(0, seq, 10) for seq in range(40)}
+        assert len(picks_by_seq) > 1
+        picks_by_seed = {hash_pick(seed, 5, 10) for seed in range(40)}
+        assert len(picks_by_seed) > 1
+
+    def test_single_choice_is_forced(self):
+        assert hash_pick(3, 9, 1) == 0
+
+
+class TestChooseFor:
+    def test_choice_is_a_feasible_member(self):
+        placer = GreedyRandomPlacer(rho=0.01, d=8, seed=5)
+        feasible = [2, 4, 7, 9]
+        for seq in range(20):
+            assert placer.choose_for(seq)(feasible) in feasible
+
+    def test_same_seed_same_sequence(self):
+        a = GreedyRandomPlacer(rho=0.01, d=8, seed=5)
+        b = GreedyRandomPlacer(rho=0.01, d=8, seed=5)
+        feasible = list(range(6))
+        assert [a.choose_for(s)(feasible) for s in range(30)] \
+            == [b.choose_for(s)(feasible) for s in range(30)]
+
+    def test_different_seed_diverges(self):
+        a = GreedyRandomPlacer(rho=0.01, d=8, seed=1)
+        b = GreedyRandomPlacer(rho=0.01, d=8, seed=2)
+        feasible = list(range(6))
+        assert [a.choose_for(s)(feasible) for s in range(30)] \
+            != [b.choose_for(s)(feasible) for s in range(30)]
+
+
+class TestPlacement:
+    def test_every_placement_respects_eq17(self):
+        placer = GreedyRandomPlacer(rho=0.01, d=8, seed=3)
+        consolidator = OnlineConsolidator([PMSpec(20.0)] * 6, placer)
+        for i in range(15):
+            consolidator.admit(VM, choose=placer.choose_for(i))
+        for j in range(consolidator.n_pms):
+            state = consolidator.state_of(j)
+            assert state.committed <= state.spec.capacity + 1e-9
+
+    def test_spreads_at_least_as_wide_as_first_fit(self, tmp_path):
+        def used_pms(placer, workdir):
+            svc = PlacementService([PMSpec(20.0)] * 8, placer,
+                                   wal_path=workdir / "wal.jsonl")
+            for i in range(10):
+                svc.submit(f"k{i}", VM)
+            svc.drain()
+            return svc.consolidator.n_used_pms
+
+        ff = used_pms(QueuingFFD(rho=0.01, d=8), tmp_path / "ff")
+        grand = used_pms(GreedyRandomPlacer(rho=0.01, d=8, seed=3),
+                         tmp_path / "gr")
+        assert grand >= ff  # uniform choice never packs tighter than FF
+
+    def test_service_runs_are_deterministic(self, tmp_path):
+        def run(workdir):
+            svc = PlacementService(
+                [PMSpec(20.0)] * 8,
+                GreedyRandomPlacer(rho=0.01, d=8, seed=11),
+                wal_path=workdir / "wal.jsonl")
+            for i in range(12):
+                svc.submit(f"k{i}", VM)
+            svc.drain()
+            return svc.consolidator.state_fingerprint()
+
+        assert run(tmp_path / "a") == run(tmp_path / "b")
+
+    def test_name_and_defaults(self):
+        placer = GreedyRandomPlacer()
+        assert placer.name == "GRAND"
+        assert placer.seed == 0
+
+    def test_batch_placement_matches_online_invariants(self):
+        placer = GreedyRandomPlacer(rho=0.01, d=8, seed=7)
+        vms = [VM] * 10
+        mapping = placer.place(vms, [PMSpec(20.0)] * 8)
+        loads = {}
+        for v, pm in enumerate(mapping.assignment):
+            assert pm >= 0
+            loads[pm] = loads.get(pm, 0) + 1
+        assert sum(loads.values()) == 10
+
+    def test_infeasible_batch_raises(self):
+        placer = GreedyRandomPlacer(rho=0.01, d=8, seed=7)
+        with pytest.raises(Exception):
+            placer.place([VM] * 100, [PMSpec(6.0)])

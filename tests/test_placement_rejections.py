@@ -37,6 +37,7 @@ from repro.placement.ffd import (
     size_by_base,
     size_by_peak,
 )
+from repro.placement.grand import GreedyRandomPlacer
 from repro.placement.rbex import RBExPlacer
 from repro.placement.sbp import StochasticBinPacker
 from repro.placement.spread import DomainSpreadConstraint
@@ -74,6 +75,8 @@ ALL_PLACERS = [
     pytest.param(lambda: StochasticBinPacker(), id="SBP"),
     pytest.param(lambda: QueuingFFD(rho=0.01, d=16), id="QUEUE"),
     pytest.param(lambda: RBExPlacer(delta=0.3), id="RBEx"),
+    pytest.param(lambda: GreedyRandomPlacer(rho=0.01, d=16, seed=3),
+                 id="GRAND"),
 ]
 
 
@@ -84,6 +87,8 @@ class TestReasonVocabulary:
         assert PLACEMENT_REASONS == {
             "chosen", "feasible", "capacity", "cvr_threshold", "vm_cap",
             "spread_constraint", "crashed_pm", "blacklisted_pm", "source_pm",
+            "draining_pm", "fleet_full", "shed_inbox_full", "shed_priority",
+            "shed_solver_degraded",
         }
 
     @pytest.mark.parametrize("make_placer", ALL_PLACERS)

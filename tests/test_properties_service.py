@@ -1,0 +1,140 @@
+"""Property test: random admit/depart interleavings keep every invariant.
+
+Satellite contract: drive randomized interleavings of ``admit``/``depart``
+through :class:`OnlineConsolidator` (directly and through the durable
+service), asserting at every step that reservation state stays coherent,
+and at the end that the online packing is within the expected
+online-vs-batch gap of a fresh ``admit_batch`` re-pack of the surviving
+population (first-fit without departures-driven fragmentation).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineConsolidator
+from repro.core.queuing_ffd import QueuingFFD
+from repro.core.types import PMSpec, VMSpec
+from repro.service.service import PlacementService
+
+# same r_extra everywhere so per-PM committed load is exactly
+# sum(r_base) + K_count * r_extra — recomputable from first principles
+SPECS = [
+    VMSpec(p_on=0.10, p_off=0.50, r_base=2.0, r_extra=3.0),
+    VMSpec(p_on=0.30, p_off=0.30, r_base=4.0, r_extra=3.0),
+    VMSpec(p_on=0.05, p_off=0.60, r_base=1.0, r_extra=3.0),
+]
+N_PMS = 10
+CAPACITY = 24.0
+D = 8
+
+
+def assert_invariants(consolidator):
+    """Reservation-state coherence, checked after every operation."""
+    mapping = consolidator._mapping
+    if mapping is None:  # nothing admitted yet; no state exists to check
+        return
+    total_hosted = 0
+    for j in range(consolidator.n_pms):
+        state = consolidator.state_of(j)
+        total_hosted += state.count
+        assert 0 <= state.count <= D
+        assert state.committed <= state.spec.capacity + 1e-9
+        if state.count == 0:
+            assert state.is_empty
+    assert total_hosted == consolidator.n_vms
+    hosted = consolidator.hosted_vms()
+    assert len(hosted) == consolidator.n_vms
+    # per-PM recomputation: base load + Eq. (17) block reservation
+    if mapping is not None:
+        by_pm = {}
+        for vm_id, spec in hosted.items():
+            by_pm.setdefault(consolidator.pm_of(vm_id), []).append(spec)
+        for j, specs in by_pm.items():
+            k = len(specs)
+            expect = sum(s.r_base for s in specs) \
+                + int(mapping.table[k]) * 3.0
+            assert consolidator.state_of(j).committed \
+                == pytest.approx(expect)
+
+
+def random_walk(seed, *, n_ops=120):
+    """One randomized interleaving; returns the consolidator afterwards."""
+    rng = np.random.RandomState(seed)
+    consolidator = OnlineConsolidator([PMSpec(CAPACITY)] * N_PMS,
+                                      QueuingFFD(rho=0.01, d=D))
+    live = []
+    for _ in range(n_ops):
+        departing = live and rng.rand() < 0.4
+        if departing:
+            vm_id = live.pop(rng.randint(len(live)))
+            consolidator.depart(vm_id)
+        else:
+            spec = SPECS[rng.randint(len(SPECS))]
+            try:
+                vm_id, _ = consolidator.admit(spec)
+                live.append(vm_id)
+            except Exception:
+                pass  # fleet full: a typed rejection, state untouched
+        assert_invariants(consolidator)
+    return consolidator
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23, 91])
+def test_interleavings_hold_invariants_and_batch_gap(seed):
+    online = random_walk(seed)
+    hosted = list(online.hosted_vms().values())
+    if not hosted:
+        return
+    batch = OnlineConsolidator([PMSpec(CAPACITY)] * N_PMS,
+                               QueuingFFD(rho=0.01, d=D))
+    batch.admit_batch(hosted)
+    assert_invariants(batch)
+    # The two packings need not coincide — the re-pack refits its mapping
+    # to the surviving population (different rounded (p_on, p_off) means a
+    # different block table), so neither strictly dominates.  What must
+    # hold is the first-fit competitiveness gap, in both directions.
+    assert online.n_used_pms <= 2 * batch.n_used_pms + 1
+    assert batch.n_used_pms <= 2 * online.n_used_pms + 1
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+def test_interleaving_through_the_service_matches_bare_consolidator(
+        seed, tmp_path):
+    """The durable service is a transparent wrapper: same ops, same state."""
+    rng = np.random.RandomState(seed)
+    ops = []
+    for i in range(60):
+        ops.append(("depart", None) if rng.rand() < 0.35
+                   else ("admit", SPECS[rng.randint(len(SPECS))]))
+
+    svc = PlacementService([PMSpec(CAPACITY)] * N_PMS,
+                           QueuingFFD(rho=0.01, d=D),
+                           wal_path=tmp_path / "wal.jsonl")
+    bare = OnlineConsolidator([PMSpec(CAPACITY)] * N_PMS,
+                              QueuingFFD(rho=0.01, d=D))
+    svc_live, bare_live = [], []
+    for i, (op, spec) in enumerate(ops):
+        if op == "admit":
+            svc.submit(f"k{i}", spec)
+            svc.drain()
+            out = svc.results[f"k{i}"]
+            if out["op"] == "admit":
+                svc_live.append(out["vm_id"])
+            try:
+                vm_id, _ = bare.admit(spec)
+                bare_live.append(vm_id)
+            except Exception:
+                pass
+        elif svc_live:
+            svc.depart(f"d{i}", svc_live.pop(0))
+            bare.depart(bare_live.pop(0))
+        assert_invariants(svc.consolidator)
+    assert svc.consolidator.state_fingerprint() == bare.state_fingerprint()
+    # ... and recovery preserves the randomized end state byte-for-byte
+    recovered = PlacementService.recover(
+        [PMSpec(CAPACITY)] * N_PMS, QueuingFFD(rho=0.01, d=D),
+        wal_path=tmp_path / "wal.jsonl")
+    assert json.dumps(recovered.capture_state(), sort_keys=True) \
+        == json.dumps(svc.capture_state(), sort_keys=True)

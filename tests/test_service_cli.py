@@ -1,0 +1,75 @@
+"""`repro serve` end to end, including the kill -9 chaos drill.
+
+These run the real CLI in subprocesses — the kill drill's ``os._exit(137)``
+cannot be simulated in-process.  The CI ``service-smoke`` job runs the
+same drill at 1k-arrival scale; this is the fast tier-1 version.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+BASE = ["--arrivals", "60", "--rate", "3", "--pms", "8", "--seed", "13",
+        "--recalibrate-every", "7", "--checkpoint-every", "20"]
+
+
+def serve(tmp_path, *extra):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "serve",
+         "--wal", str(tmp_path / "wal.jsonl"), *BASE, *extra],
+        capture_output=True, text=True, env=env, timeout=300)
+
+
+@pytest.fixture(scope="module")
+def clean_state(tmp_path_factory):
+    """One uninterrupted run; its state file is the parity reference."""
+    tmp_path = tmp_path_factory.mktemp("clean")
+    out = tmp_path / "state.json"
+    proc = serve(tmp_path, "--state-out", str(out))
+    assert proc.returncode == 0, proc.stderr
+    return proc, out.read_bytes()
+
+
+def test_clean_run_reports_and_writes_state(clean_state):
+    proc, state = clean_state
+    assert "state fingerprint:" in proc.stdout
+    parsed = json.loads(state)
+    assert set(parsed) == {"consolidator", "pool", "results", "counters"}
+
+
+def test_kill_twice_then_resume_is_byte_identical(tmp_path, clean_state):
+    _, want = clean_state
+    for seq in ("25", "60"):
+        proc = serve(tmp_path, "--chaos", "kill", "--chaos-at", seq)
+        assert proc.returncode == 137, proc.stdout + proc.stderr
+        assert f"kill -9 at WAL seq {seq}" in proc.stdout
+    out = tmp_path / "state.json"
+    final = serve(tmp_path, "--state-out", str(out))
+    assert final.returncode == 0, final.stderr
+    assert "[recover]" in final.stdout
+    assert out.read_bytes() == want
+
+
+def test_corrupt_wal_is_truncated_and_state_preserved(tmp_path, clean_state):
+    _, want = clean_state
+    first = serve(tmp_path, "--chaos", "corrupt-wal")
+    assert first.returncode == 0, first.stderr
+    out = tmp_path / "state.json"
+    second = serve(tmp_path, "--state-out", str(out))
+    assert second.returncode == 0, second.stderr
+    assert "1 torn tail lines dropped" in second.stdout
+    assert out.read_bytes() == want
+
+
+def test_stall_degrades_instead_of_failing(tmp_path):
+    proc = serve(tmp_path, "--chaos", "stall", "--chaos-at", "10")
+    assert proc.returncode == 0, proc.stderr
+    staleness = int(proc.stdout.split("solver staleness ")[1].split(";")[0])
+    assert staleness >= 1  # served on last-known-good, loudly

@@ -1,0 +1,226 @@
+"""Crash recovery: checkpoint + WAL replay reconstructs identical state.
+
+The central drill kills the service (an exception from the chaos hook
+stands in for ``kill -9``; the on-disk artifacts are identical) at
+*every* journal-then-apply phase of *every* decision in a scripted
+workload — admissions, sheds, departures, recalibrations, autoscale,
+checkpoint compaction — then recovers from disk, finishes the workload,
+and asserts the final state is byte-identical to an uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.core.types import PMSpec, VMSpec
+from repro.service.pool import ElasticPMPool
+from repro.service.service import PlacementService
+from repro.service.wal import WALError, WriteAheadLog
+from repro.telemetry import RingBufferSink, Telemetry, WALReplayed
+
+# Calm and bursty populations: departing the calm one and recalibrating
+# forces a genuine (journaled) mapping change mid-workload.
+CALM = VMSpec(p_on=0.1, p_off=0.5, r_base=2.0, r_extra=3.0)
+BURSTY = VMSpec(p_on=0.45, p_off=0.05, r_base=2.0, r_extra=3.0)
+
+
+class Killed(RuntimeError):
+    """Stands in for kill -9 at an exact journal phase."""
+
+
+def make_service(tmp_path, *, elastic=False, chaos_hook=None, telemetry=None):
+    pool = None
+    if elastic:
+        pool = ElasticPMPool(4, initial_active=3, low_watermark=1,
+                             high_watermark=1, patience=2, drain_ticks=1)
+    return PlacementService(
+        [PMSpec(20.0)] * 4,
+        wal_path=tmp_path / "wal.jsonl",
+        checkpoint_path=tmp_path / "ckpt.json",
+        checkpoint_every=6, pool=pool, chaos_hook=chaos_hook,
+        telemetry=telemetry)
+
+
+def recover_service(tmp_path, *, elastic=False, telemetry=None):
+    pool = None
+    if elastic:
+        pool = ElasticPMPool(4, initial_active=3, low_watermark=1,
+                             high_watermark=1, patience=2, drain_ticks=1)
+    return PlacementService.recover(
+        [PMSpec(20.0)] * 4, wal_path=tmp_path / "wal.jsonl",
+        checkpoint_path=tmp_path / "ckpt.json",
+        checkpoint_every=6, pool=pool, telemetry=telemetry)
+
+
+def drive(svc):
+    """The scripted workload; idempotent keys make re-runs resume."""
+    for j in range(3):
+        svc.submit(f"a{j}", CALM)
+        svc.drain()
+    for j in range(3):
+        svc.submit(f"b{j}", BURSTY, "critical")
+        svc.drain()
+    for key in ("a0", "a1", "a2"):
+        out = svc.results[key]
+        if out["op"] == "admit":
+            svc.depart(f"d-{key}", out["vm_id"])
+    svc.recalibrate("recal-1")  # population now all-bursty: real refit
+    for j in range(3, 6):
+        svc.submit(f"b{j}", BURSTY)
+        svc.drain()
+    svc.recalibrate("recal-2")  # same population: journaled no-op
+
+
+def canonical(svc):
+    return json.dumps(svc.capture_state(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def chaos_points(tmp_path, *, elastic):
+    """Every (phase, seq) the uninterrupted workload passes through."""
+    points = []
+    svc = make_service(tmp_path, elastic=elastic,
+                       chaos_hook=lambda ph, seq: points.append((ph, seq)))
+    drive(svc)
+    return points, canonical(svc)
+
+
+@pytest.mark.parametrize("elastic", [False, True],
+                         ids=["static-pool", "elastic-pool"])
+def test_kill_at_every_phase_recovers_byte_identical(tmp_path, elastic):
+    reference_dir = tmp_path / "ref"
+    points, want = chaos_points(reference_dir, elastic=elastic)
+    phases_hit = {ph for ph, _ in points}
+    assert phases_hit == {"appended", "applied", "checkpointed"}
+
+    for i, (phase, seq) in enumerate(points):
+        workdir = tmp_path / f"kill-{i}"
+
+        def bomb(ph, s, _target=(phase, seq)):
+            if (ph, s) == _target:
+                raise Killed(f"kill at {ph} seq {s}")
+
+        svc = make_service(workdir, elastic=elastic, chaos_hook=bomb)
+        with pytest.raises(Killed):
+            drive(svc)
+        del svc  # in-memory state is gone; disk is all that survives
+        recovered = recover_service(workdir, elastic=elastic)
+        drive(recovered)  # resume by idempotency key
+        assert canonical(recovered) == want, \
+            f"divergence after kill at {phase} seq {seq}"
+
+
+def test_crash_between_refit_and_first_postrefit_admit(tmp_path):
+    """The recalibration satellite: the refit is journaled (applied), the
+    crash lands before any post-refit admission; replay must rebuild the
+    *new* mapping and the next admission must be placed under it."""
+    ref_dir = tmp_path / "ref"
+    ref = make_service(ref_dir)
+    drive(ref)
+    want = canonical(ref)
+    recal_seq = ref.results["recal-1"]["seq"]
+
+    workdir = tmp_path / "crash"
+
+    def bomb(ph, seq):
+        if (ph, seq) == ("applied", recal_seq):
+            raise Killed("crash after refit applied, before next admit")
+
+    svc = make_service(workdir, chaos_hook=bomb)
+    with pytest.raises(Killed):
+        drive(svc)
+    recovered = recover_service(workdir)
+    # the refit survived the crash: mapping matches the reference service
+    assert recovered.consolidator._mapping.p_on == \
+        ref.consolidator._mapping.p_on
+    drive(recovered)
+    assert canonical(recovered) == want
+
+
+def test_recovery_emits_wal_replayed(tmp_path):
+    svc = make_service(tmp_path)
+    drive(svc)
+    sink = RingBufferSink()
+    recovered = recover_service(tmp_path, telemetry=Telemetry(sink))
+    replays = [e for e in sink.events if isinstance(e, WALReplayed)]
+    assert len(replays) == 1
+    ev = replays[0]
+    assert ev.records == recovered.wal.last_seq - ev.checkpoint_seq
+    assert ev.truncated_tail == 0
+    assert ev.fingerprint == recovered.consolidator.state_fingerprint()
+
+
+def test_checkpoint_compaction_shortens_replay(tmp_path):
+    svc = make_service(tmp_path)
+    drive(svc)
+    svc.checkpoint()  # absorb everything; wal_lag drops to zero
+    assert svc.wal_lag == 0
+    want = canonical(svc)
+    sink = RingBufferSink()
+    recovered = recover_service(tmp_path, telemetry=Telemetry(sink))
+    assert canonical(recovered) == want
+    ev = next(e for e in sink.events if isinstance(e, WALReplayed))
+    assert ev.records == 0  # the checkpoint carried all of it
+
+    # ... and the service keeps working after a checkpoint-based recovery
+    recovered.submit("post-ckpt", BURSTY)
+    recovered.drain()
+    assert recovered.results["post-ckpt"]["op"] in ("admit", "shed")
+
+
+def test_torn_wal_tail_recovers_and_resumes(tmp_path):
+    svc = make_service(tmp_path)
+    drive(svc)
+    want = canonical(svc)
+    with open(tmp_path / "wal.jsonl", "ab") as fh:
+        fh.write(b'{"seq": 999, "chain": "dead')  # torn final append
+    sink = RingBufferSink()
+    recovered = recover_service(tmp_path, telemetry=Telemetry(sink))
+    ev = next(e for e in sink.events if isinstance(e, WALReplayed))
+    assert ev.truncated_tail == 1
+    assert canonical(recovered) == want
+
+
+def test_checkpoint_ahead_of_wal_is_rejected(tmp_path):
+    svc = make_service(tmp_path)
+    drive(svc)
+    svc.checkpoint()
+    # swap in an older (shorter) journal than the checkpoint expects
+    wal_path = tmp_path / "wal.jsonl"
+    wal_path.unlink()
+    WriteAheadLog(wal_path)  # fresh log at base_seq 0
+    with pytest.raises(WALError, match="ahead of the WAL end"):
+        recover_service(tmp_path)
+
+
+def test_decided_keys_do_not_rejournal_on_resubmit(tmp_path):
+    svc = make_service(tmp_path)
+    drive(svc)
+    recovered = recover_service(tmp_path)
+    seq_before = recovered.wal.last_seq
+    requests_before = recovered.counters["requests"]
+    drive(recovered)  # every key already decided
+    assert recovered.wal.last_seq == seq_before
+    assert recovered.counters["requests"] == requests_before
+
+
+def test_replay_rejects_divergent_vm_ids(tmp_path):
+    # no checkpointing: recovery must replay the (tampered) log in full
+    svc = PlacementService([PMSpec(20.0)] * 4,
+                           wal_path=tmp_path / "wal.jsonl",
+                           checkpoint_every=0)
+    drive(svc)
+    # tamper: rebuild the log with an admit record whose vm_id skips ahead,
+    # re-chaining so only the semantic check can catch it
+    old = WriteAheadLog(tmp_path / "wal.jsonl")
+    records = old.records()
+    (tmp_path / "wal.jsonl").unlink()
+    fresh = WriteAheadLog(tmp_path / "wal.jsonl")
+    for rec in records:
+        body = dict(rec.body)
+        if rec.op == "admit" and body["vm_id"] == 2:
+            body["vm_id"] = 7
+        fresh.append(rec.op, body, key=rec.key)
+    with pytest.raises(ValueError, match="divergent"):
+        PlacementService.recover([PMSpec(20.0)] * 4,
+                                 wal_path=tmp_path / "wal.jsonl")

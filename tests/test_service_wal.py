@@ -1,0 +1,173 @@
+"""Write-ahead log + service checkpoint: format, chaining, torn writes."""
+
+import json
+
+import pytest
+
+from repro.service.wal import (
+    GENESIS_CHAIN,
+    WALCorruptError,
+    WALError,
+    WriteAheadLog,
+    chain_hash,
+    load_service_checkpoint,
+    save_service_checkpoint,
+)
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.jsonl"
+
+
+class TestAppendAndScan:
+    def test_fresh_log_has_header_and_no_records(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        assert wal.last_seq == 0
+        assert wal.base_chain == GENESIS_CHAIN
+        header = json.loads(wal_path.read_text().splitlines()[0])
+        assert header["format"] == "repro-wal"
+        assert header["base_seq"] == 0
+
+    def test_append_returns_consecutive_seqs(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        seqs = [wal.append("admit", {"pm": i}, key=f"k{i}") for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert wal.last_seq == 5
+
+    def test_reopen_round_trips_records(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("admit", {"pm": 0, "vm_id": 0}, key="a")
+        wal.append("depart", {"vm_id": 0}, key="b")
+        reopened = WriteAheadLog(wal_path)
+        recs = reopened.records()
+        assert [(r.seq, r.key, r.op) for r in recs] == [
+            (1, "a", "admit"), (2, "b", "depart")]
+        assert recs[0].body == {"pm": 0, "vm_id": 0}
+        assert reopened.last_chain == wal.last_chain
+
+    def test_chain_links_every_record_to_its_predecessor(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("admit", {"pm": 0}, key="a")
+        wal.append("admit", {"pm": 1}, key="b")
+        r1, r2 = wal.records()
+        assert r1.chain == chain_hash(GENESIS_CHAIN, 1, "a", "admit",
+                                      {"pm": 0})
+        assert r2.chain == chain_hash(r1.chain, 2, "b", "admit", {"pm": 1})
+
+    def test_records_after_seq_filters(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        for i in range(4):
+            wal.append("admit", {}, key=f"k{i}")
+        assert [r.seq for r in wal.records(after_seq=2)] == [3, 4]
+
+
+class TestTornTailAndCorruption:
+    def _populate(self, wal_path, n=3):
+        wal = WriteAheadLog(wal_path)
+        for i in range(n):
+            wal.append("admit", {"pm": i}, key=f"k{i}")
+        return wal
+
+    def test_torn_tail_is_truncated_and_reported(self, wal_path):
+        self._populate(wal_path)
+        with open(wal_path, "ab") as fh:
+            fh.write(b'{"seq": 4, "chain": "dead')  # kill -9 mid-append
+        wal = WriteAheadLog(wal_path)
+        assert wal.truncated_tail == 1
+        assert wal.last_seq == 3
+        # the tail is gone from disk, so appends resume cleanly
+        assert wal.append("admit", {"pm": 9}, key="k9") == 4
+        assert WriteAheadLog(wal_path).last_seq == 4
+
+    def test_multi_line_garbage_tail_is_still_a_tail(self, wal_path):
+        self._populate(wal_path)
+        with open(wal_path, "ab") as fh:
+            fh.write(b"not json\n{\"half\": tru")
+        wal = WriteAheadLog(wal_path)
+        assert wal.truncated_tail == 2
+        assert wal.last_seq == 3
+
+    def test_midfile_corruption_refuses_to_open(self, wal_path):
+        self._populate(wal_path)
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        lines[2] = b"garbage\n"  # malformed record *followed by* valid ones
+        wal_path.write_bytes(b"".join(lines))
+        with pytest.raises(WALCorruptError, match="mid-file"):
+            WriteAheadLog(wal_path)
+
+    def test_tampered_record_breaks_the_chain(self, wal_path):
+        self._populate(wal_path)
+        lines = wal_path.read_text().splitlines()
+        rec = json.loads(lines[2])
+        rec["body"]["pm"] = 7  # bit-flip the journaled outcome
+        lines[2] = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+        wal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WALCorruptError, match="chain mismatch"):
+            WriteAheadLog(wal_path)
+
+    def test_seq_gap_refuses_to_open(self, wal_path):
+        self._populate(wal_path)
+        lines = wal_path.read_text().splitlines()
+        del lines[2]  # drop a middle record entirely
+        wal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(wal_path)
+
+    def test_wrong_format_or_version_refuses(self, tmp_path):
+        other = tmp_path / "other.jsonl"
+        other.write_text('{"format": "not-a-wal", "version": 1}\n')
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(other)
+
+
+class TestCompaction:
+    def test_compact_drops_prefix_and_rebases(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        for i in range(6):
+            wal.append("admit", {"pm": i}, key=f"k{i}")
+        mid_chain = wal.records()[3].chain
+        dropped = wal.compact(base_seq=4, base_chain=mid_chain)
+        assert dropped == 4
+        assert wal.base_seq == 4
+        assert [r.seq for r in wal.records()] == [5, 6]
+        # the compacted file reopens and still chains correctly
+        reopened = WriteAheadLog(wal_path)
+        assert reopened.base_seq == 4
+        assert [r.seq for r in reopened.records()] == [5, 6]
+        assert reopened.append("admit", {}, key="k7") == 7
+
+    def test_compact_past_the_end_raises(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("admit", {}, key="a")
+        with pytest.raises(WALError, match="cannot compact"):
+            wal.compact(base_seq=9, base_chain="x")
+
+
+class TestServiceCheckpoint:
+    STATE = {"consolidator": {"next_id": 3}, "counters": {"admitted": 3}}
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_service_checkpoint(path, state=self.STATE, wal_seq=12,
+                                wal_chain="ab" * 32)
+        payload = load_service_checkpoint(path)
+        assert payload["wal_seq"] == 12
+        assert payload["wal_chain"] == "ab" * 32
+        assert payload["state"] == self.STATE
+
+    def test_bit_rot_fails_the_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_service_checkpoint(path, state=self.STATE, wal_seq=1,
+                                wal_chain="cd" * 32)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["wal_seq"] = 999
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(WALCorruptError, match="checksum"):
+            load_service_checkpoint(path)
+
+    def test_wrong_format_refuses(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(WALCorruptError):
+            load_service_checkpoint(path)

@@ -7,6 +7,7 @@ import pytest
 from repro.telemetry import (
     EVENT_TYPES,
     PRE_RUN,
+    AdmissionRejected,
     AlertFired,
     AlertResolved,
     BenchJobFinished,
@@ -29,6 +30,7 @@ from repro.telemetry import (
     PlacementDecided,
     PMCrashed,
     PMRepaired,
+    PoolScaled,
     ReconsolidationDecided,
     ReconsolidationTriggered,
     RefitCompleted,
@@ -41,11 +43,14 @@ from repro.telemetry import (
     RingBufferSink,
     RunResumed,
     ServiceRestored,
+    ServiceSnapshot,
     ServingSnapshot,
+    SolverDegraded,
     TargetBlacklisted,
     TelemetryEvent,
     VMPlaced,
     VMStranded,
+    WALReplayed,
     event_from_dict,
 )
 
@@ -126,6 +131,19 @@ SAMPLES = [
                   drift_pms=(1, 4), alert_streak=0,
                   active_alerts=("cvr_burn",), baseline_cvr=0.01,
                   budget=24, deadline=112),
+    AdmissionRejected(time=40, request_key="a-5-2", vm_class="standard",
+                      reason="fleet_full", inbox_depth=3, active_pms=8,
+                      free_slots=0, max_headroom=0.0),
+    WALReplayed(time=0, path="wal.jsonl", checkpoint_seq=128, records=37,
+                truncated_tail=1, fingerprint="946937cf72a028df"),
+    PoolScaled(time=41, action="down_prepare", pm_id=6, active_pms=7,
+               draining_pms=1, cause="hysteresis"),
+    SolverDegraded(time=42, state="open", failures=3, staleness=5,
+                   error="injected solver stall"),
+    ServiceSnapshot(time=43, requests=200, admitted=150, shed=50,
+                    departed=118, active_pms=16, draining_pms=0,
+                    retired_pms=0, hosted_vms=32, used_pms=16,
+                    wal_lag=62, staleness=0),
 ]
 
 
